@@ -1,0 +1,175 @@
+// Command innetcc regenerates the tables and figures of "In-Network Cache
+// Coherence" (MICRO 2006) on the repository's simulation stack: synthetic
+// SPLASH-2-like traces, a cycle-driven mesh network-on-chip, the baseline
+// MSI directory protocol and the in-network virtual-tree protocol.
+//
+// Usage:
+//
+//	innetcc -exp all                  # every experiment
+//	innetcc -exp fig5                 # one experiment
+//	innetcc -exp fig9 -accesses 300   # heavier per-node load
+//	innetcc -exp mcheck               # exhaustive model checking
+//
+// Experiments: hopcount, fig5, table3, fig6, fig7, fig8, fig9, table4,
+// fig10, fig11, ablations, storage, mcheck.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"innetcc/internal/experiments"
+	"innetcc/internal/mcheck"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, hopcount, fig5, table3, fig6, fig7, fig8, fig9, table4, fig10, fig11, ablations, storage, mcheck)")
+	accesses := flag.Int("accesses", 400, "trace accesses per node (16-node experiments)")
+	accesses64 := flag.Int("accesses64", 120, "trace accesses per node (64-node experiments)")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	flag.Parse()
+
+	opt := experiments.Options{
+		AccessesPerNode:   *accesses,
+		AccessesPerNode64: *accesses64,
+		Seed:              *seed,
+	}
+	if err := run(*exp, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "innetcc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opt experiments.Options) error {
+	w := os.Stdout
+	all := exp == "all"
+	ran := false
+	sep := func() { fmt.Fprintln(w) }
+
+	if all || exp == "hopcount" {
+		rs, err := experiments.HopCountStudy(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintHopStudy(w, rs)
+		sep()
+		ran = true
+	}
+	if all || exp == "fig5" {
+		rs, err := experiments.Figure5(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintPairs(w, "Figure 5 — latency reduction, 16 nodes (Table 2 config)", rs,
+			"(paper avg: reads -27.1%, writes -41.2%)")
+		sep()
+		ran = true
+	}
+	if all || exp == "table3" {
+		experiments.PrintTable3(w)
+		sep()
+		ran = true
+	}
+	if all || exp == "fig6" {
+		pts, err := experiments.Figure6(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSweep(w, "Figure 6 — tree cache size sweep (normalized to 512K entries, victim caching off)", pts, "entries")
+		sep()
+		ran = true
+	}
+	if all || exp == "fig7" {
+		pts, err := experiments.Figure7(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSweep(w, "Figure 7 — tree cache associativity sweep (normalized to 8-way, victim caching off)", pts, "ways")
+		sep()
+		ran = true
+	}
+	if all || exp == "fig8" {
+		pts, err := experiments.Figure8(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure8(w, pts)
+		sep()
+		ran = true
+	}
+	if all || exp == "fig9" {
+		rs, err := experiments.Figure9(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintPairs(w, "Figure 9 — latency reduction, 64 nodes (8x8 mesh)", rs,
+			"(paper avg: reads -35%, writes -48%)")
+		sep()
+		ran = true
+	}
+	if all || exp == "table4" {
+		rows, err := experiments.Table4(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable4(w, rows)
+		sep()
+		ran = true
+	}
+	if all || exp == "fig10" {
+		rs, err := experiments.Figure10(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintPairs(w, "Figure 10 — in-network vs above-network tree implementation", rs,
+			"(paper avg: reads -31%, writes -49.1%)")
+		sep()
+		ran = true
+	}
+	if all || exp == "fig11" {
+		pts, err := experiments.Figure11(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure11(w, pts)
+		sep()
+		ran = true
+	}
+	if all || exp == "ablations" {
+		rows, err := experiments.Ablations(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblations(w, rows)
+		sep()
+		ran = true
+	}
+	if all || exp == "storage" {
+		experiments.PrintStorage(w, experiments.StorageStudy())
+		sep()
+		ran = true
+	}
+	if all || exp == "mcheck" {
+		home, ops := mcheck.DefaultProgram()
+		fmt.Fprintln(w, "Section 2.4 — exhaustive model checking of the reduced protocol")
+		res := mcheck.New(home, ops).Run()
+		fmt.Fprintf(w, "program: 2 concurrent reads + 2 concurrent writes, home=%d\n", home)
+		fmt.Fprintf(w, "%v\n", res)
+		for _, v := range res.Violations {
+			fmt.Fprintln(w, "VIOLATION:", v)
+		}
+		for _, d := range res.Deadlocks {
+			fmt.Fprintln(w, "DEADLOCK:", d)
+		}
+		if len(res.Violations)+len(res.Deadlocks) == 0 {
+			fmt.Fprintln(w, "result: coherent and sequentially consistent in every reachable state")
+		}
+		sep()
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

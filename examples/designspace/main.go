@@ -1,0 +1,56 @@
+// Designspace: explore the virtual tree cache organization the way the
+// paper's Section 3.2 does — sweep capacity and associativity, weigh the
+// performance against the access-time and area costs from the Cacti-style
+// model, and arrive at the paper's chosen 4K-entry 4-way point.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"innetcc/internal/cacti"
+	"innetcc/internal/protocol"
+	"innetcc/internal/trace"
+	"innetcc/internal/treecc"
+)
+
+func readLatency(entries, ways int) float64 {
+	p, err := trace.ProfileByName("bar")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := protocol.DefaultConfig()
+	cfg.TreeEntries = entries
+	cfg.TreeWays = ways
+	cfg.VictimCaching = false // isolate the underlying protocol, as in Figs 6/7
+	tr := trace.Generate(p, cfg.Nodes(), 400, 3)
+	m, err := protocol.NewMachine(cfg, tr, p.Think)
+	if err != nil {
+		log.Fatal(err)
+	}
+	treecc.New(m)
+	if err := m.Run(100_000_000); err != nil {
+		log.Fatal(err)
+	}
+	return m.Lat.Read.Mean()
+}
+
+func main() {
+	fmt.Println("tree cache design space (benchmark: barnes, victim caching off)")
+	fmt.Printf("%-10s %-6s %12s %12s %10s\n", "entries", "ways", "avg-read", "access", "area")
+	for _, cfg := range []struct{ entries, ways int }{
+		{1024, 4}, {2048, 4}, {4096, 1}, {4096, 4}, {4096, 8}, {8192, 4},
+	} {
+		lat := readLatency(cfg.entries, cfg.ways)
+		hw := cacti.Evaluate(cacti.TreeCacheConfig(cfg.entries, cfg.ways))
+		fmt.Printf("%-10d %-6d %9.1f cy %9d cy %7.2f mm²\n",
+			cfg.entries, cfg.ways, lat, hw.AccessCycles, hw.AreaMM2)
+	}
+	fmt.Println("\nThe paper selects 4K entries, 4-way: 2-cycle access (one extra")
+	fmt.Println("pipeline stage at 500 MHz) at ~0.5 mm² — negligible next to a")
+	fmt.Println("2x2 mm RAW-style tile — while larger or more associative caches")
+	fmt.Println("stop paying for themselves (8-way even hurts: bigger sets give")
+	fmt.Println("passing writes more victim trees to proactively evict).")
+}

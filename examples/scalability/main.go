@@ -1,0 +1,69 @@
+// Scalability: the paper's central scalability claim (Section 3.4) is that
+// in-transit optimization keeps paying off as the chip grows. This example
+// runs the same benchmarks on a 4x4 and an 8x8 mesh and reports how the
+// write-latency advantage of in-network coherence evolves, along with the
+// coherence storage comparison of Section 3.6 (full-map directory bits grow
+// with the node count; virtual tree bits do not).
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"innetcc/internal/directory"
+	"innetcc/internal/protocol"
+	"innetcc/internal/trace"
+	"innetcc/internal/treecc"
+)
+
+func run(cfg protocol.Config, p trace.Profile, accesses int) (baseW, treeW float64) {
+	tr := trace.Generate(p, cfg.Nodes(), accesses, 7)
+	base, err := protocol.NewMachine(cfg, tr, p.Think)
+	if err != nil {
+		log.Fatal(err)
+	}
+	directory.New(base)
+	if err := base.Run(100_000_000); err != nil {
+		log.Fatal(err)
+	}
+	tree, err := protocol.NewMachine(cfg, tr, p.Think)
+	if err != nil {
+		log.Fatal(err)
+	}
+	treecc.New(tree)
+	if err := tree.Run(100_000_000); err != nil {
+		log.Fatal(err)
+	}
+	return base.Lat.Write.Mean(), tree.Lat.Write.Mean()
+}
+
+func main() {
+	benches := []string{"fft", "bar", "wsp", "ocn"}
+	fmt.Printf("%-6s %16s %16s\n", "bench", "4x4 write-red", "8x8 write-red")
+	for _, name := range benches {
+		p, err := trace.ProfileByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg16 := protocol.DefaultConfig()
+		b16, t16 := run(cfg16, p, 400)
+		cfg64 := protocol.DefaultConfig()
+		cfg64.MeshW, cfg64.MeshH = 8, 8
+		b64, t64 := run(cfg64, p, 120)
+		fmt.Printf("%-6s %15.1f%% %15.1f%%\n", name,
+			100*(b16-t16)/b16, 100*(b64-t64)/b64)
+	}
+
+	// Storage scalability (Section 3.6): the in-network tree entry stays
+	// 28 bits regardless of system size; full-map directory entries grow
+	// with the node count.
+	fmt.Println("\nper-node coherence storage at 4K entries:")
+	for _, n := range []int{16, 64, 256} {
+		dirEntry := 2 + n + 1 // busy/req bits + full sharer map + modified
+		treeEntry := 28
+		fmt.Printf("  %3d nodes: tree %6d bits, full-map directory %6d bits\n",
+			n, 4096*treeEntry, 4096*dirEntry)
+	}
+}

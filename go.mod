@@ -1,0 +1,3 @@
+module innetcc
+
+go 1.22

@@ -1,0 +1,265 @@
+// Package cache implements the generic set-associative, LRU-replacement tag
+// store shared by every cache-like structure in the system: the per-node L2
+// data caches, the baseline protocol's directory caches, and the in-network
+// protocol's virtual tree caches.
+//
+// Addresses handed to this package are line addresses (the block offset has
+// already been stripped). The set index is the low bits of the line address
+// and the tag the remaining high bits, exactly as the paper's
+// <tag, index, offset> parse of the packet header (Section 2.3).
+//
+// The tree cache needs operations a plain cache does not: allocate only into
+// an invalid way (tree construction must never silently evict another tree),
+// find the LRU line of a set subject to a predicate (teardowns must skip
+// lines that are already being torn down), and scan a set. Those primitives
+// live here so all three cache users share one replacement implementation.
+package cache
+
+// Cache is a set-associative cache mapping line addresses to a payload of
+// type V. It is a pure tag store: timing is modeled by its callers.
+type Cache[V any] struct {
+	sets    []set[V]
+	ways    int
+	numSets int
+	clock   uint64
+
+	// Hits and Misses count Lookup results for miss-rate reporting.
+	Hits   int64
+	Misses int64
+}
+
+type set[V any] struct {
+	lines []line[V]
+}
+
+type line[V any] struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+	val   V
+}
+
+// New returns a cache with the given total number of entries and
+// associativity. It panics if entries is not a positive multiple of ways.
+func New[V any](entries, ways int) *Cache[V] {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("cache: entries must be a positive multiple of ways")
+	}
+	numSets := entries / ways
+	c := &Cache[V]{ways: ways, numSets: numSets, sets: make([]set[V], numSets)}
+	for i := range c.sets {
+		c.sets[i].lines = make([]line[V], ways)
+	}
+	return c
+}
+
+// Ways returns the associativity.
+func (c *Cache[V]) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *Cache[V]) Sets() int { return c.numSets }
+
+// Entries returns the total capacity in lines.
+func (c *Cache[V]) Entries() int { return c.numSets * c.ways }
+
+func (c *Cache[V]) setIndex(addr uint64) int { return int(addr % uint64(c.numSets)) }
+func (c *Cache[V]) tag(addr uint64) uint64   { return addr / uint64(c.numSets) }
+
+// addrOf reconstructs the line address stored in a given set/tag pair.
+func (c *Cache[V]) addrOf(setIdx int, tag uint64) uint64 {
+	return tag*uint64(c.numSets) + uint64(setIdx)
+}
+
+func (c *Cache[V]) find(addr uint64) *line[V] {
+	s := &c.sets[c.setIndex(addr)]
+	tag := c.tag(addr)
+	for i := range s.lines {
+		if s.lines[i].valid && s.lines[i].tag == tag {
+			return &s.lines[i]
+		}
+	}
+	return nil
+}
+
+// Lookup returns a pointer to the payload of addr and updates LRU state on a
+// hit. The pointer stays valid until the line is evicted or invalidated.
+func (c *Cache[V]) Lookup(addr uint64) (*V, bool) {
+	if ln := c.find(addr); ln != nil {
+		c.clock++
+		ln.lru = c.clock
+		c.Hits++
+		return &ln.val, true
+	}
+	c.Misses++
+	return nil, false
+}
+
+// Peek is Lookup without LRU update or hit/miss accounting, for inspection
+// by verifiers and tests.
+func (c *Cache[V]) Peek(addr uint64) (*V, bool) {
+	if ln := c.find(addr); ln != nil {
+		return &ln.val, true
+	}
+	return nil, false
+}
+
+// Insert allocates a line for addr, evicting the LRU line of the set if the
+// set is full. It returns a pointer to the (zeroed) payload, plus the
+// evicted line's address and payload if an eviction occurred. If addr is
+// already present its payload is returned unchanged (treated as a hit).
+func (c *Cache[V]) Insert(addr uint64) (v *V, evictedAddr uint64, evictedVal V, evicted bool) {
+	if ln := c.find(addr); ln != nil {
+		c.clock++
+		ln.lru = c.clock
+		return &ln.val, 0, evictedVal, false
+	}
+	s := &c.sets[c.setIndex(addr)]
+	victim := -1
+	for i := range s.lines {
+		if !s.lines[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(s.lines); i++ {
+			if s.lines[i].lru < s.lines[victim].lru {
+				victim = i
+			}
+		}
+		evicted = true
+		evictedAddr = c.addrOf(c.setIndex(addr), s.lines[victim].tag)
+		evictedVal = s.lines[victim].val
+	}
+	c.clock++
+	var zero V
+	s.lines[victim] = line[V]{tag: c.tag(addr), valid: true, lru: c.clock, val: zero}
+	return &s.lines[victim].val, evictedAddr, evictedVal, evicted
+}
+
+// InsertNoEvict allocates a line for addr only if the set has an invalid
+// way (or addr is already present). It reports whether allocation happened.
+// Tree construction uses this: a reply must explicitly tear down a victim
+// tree rather than silently replace it.
+func (c *Cache[V]) InsertNoEvict(addr uint64) (*V, bool) {
+	if ln := c.find(addr); ln != nil {
+		c.clock++
+		ln.lru = c.clock
+		return &ln.val, true
+	}
+	s := &c.sets[c.setIndex(addr)]
+	for i := range s.lines {
+		if !s.lines[i].valid {
+			c.clock++
+			var zero V
+			s.lines[i] = line[V]{tag: c.tag(addr), valid: true, lru: c.clock, val: zero}
+			return &s.lines[i].val, true
+		}
+	}
+	return nil, false
+}
+
+// Invalidate removes addr from the cache, returning its payload and whether
+// it was present.
+func (c *Cache[V]) Invalidate(addr uint64) (V, bool) {
+	var zero V
+	if ln := c.find(addr); ln != nil {
+		v := ln.val
+		ln.valid = false
+		ln.val = zero
+		return v, true
+	}
+	return zero, false
+}
+
+// HasFreeWay reports whether the set addr maps to has at least one invalid
+// way.
+func (c *Cache[V]) HasFreeWay(addr uint64) bool {
+	s := &c.sets[c.setIndex(addr)]
+	for i := range s.lines {
+		if !s.lines[i].valid {
+			return true
+		}
+	}
+	return false
+}
+
+// LRUVictim returns the least-recently-used valid line in addr's set for
+// which keep returns true, as (lineAddress, payload pointer, ok). A nil keep
+// accepts every valid line. The line addressed by addr itself is excluded.
+func (c *Cache[V]) LRUVictim(addr uint64, keep func(lineAddr uint64, v *V) bool) (uint64, *V, bool) {
+	setIdx := c.setIndex(addr)
+	s := &c.sets[setIdx]
+	tag := c.tag(addr)
+	best := -1
+	for i := range s.lines {
+		ln := &s.lines[i]
+		if !ln.valid || ln.tag == tag {
+			continue
+		}
+		if keep != nil && !keep(c.addrOf(setIdx, ln.tag), &ln.val) {
+			continue
+		}
+		if best < 0 || ln.lru < s.lines[best].lru {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, nil, false
+	}
+	return c.addrOf(setIdx, s.lines[best].tag), &s.lines[best].val, true
+}
+
+// ScanSet calls fn for every valid line in addr's set until fn returns
+// false.
+func (c *Cache[V]) ScanSet(addr uint64, fn func(lineAddr uint64, v *V) bool) {
+	setIdx := c.setIndex(addr)
+	s := &c.sets[setIdx]
+	for i := range s.lines {
+		if !s.lines[i].valid {
+			continue
+		}
+		if !fn(c.addrOf(setIdx, s.lines[i].tag), &s.lines[i].val) {
+			return
+		}
+	}
+}
+
+// ScanAll calls fn for every valid line in the cache until fn returns
+// false. It is used by structural invariant checks at quiescence.
+func (c *Cache[V]) ScanAll(fn func(lineAddr uint64, v *V) bool) {
+	for setIdx := range c.sets {
+		s := &c.sets[setIdx]
+		for i := range s.lines {
+			if !s.lines[i].valid {
+				continue
+			}
+			if !fn(c.addrOf(setIdx, s.lines[i].tag), &s.lines[i].val) {
+				return
+			}
+		}
+	}
+}
+
+// Len returns the number of valid lines currently held.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for setIdx := range c.sets {
+		for i := range c.sets[setIdx].lines {
+			if c.sets[setIdx].lines[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MissRate returns Misses/(Hits+Misses), or 0 before any lookup.
+func (c *Cache[V]) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}

@@ -1,0 +1,297 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, tc := range []struct{ entries, ways int }{{0, 1}, {4, 0}, {5, 2}, {-4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d) did not panic", tc.entries, tc.ways)
+				}
+			}()
+			New[int](tc.entries, tc.ways)
+		}()
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := New[int](4096, 4)
+	if c.Ways() != 4 || c.Sets() != 1024 || c.Entries() != 4096 {
+		t.Fatalf("geometry %d/%d/%d", c.Ways(), c.Sets(), c.Entries())
+	}
+}
+
+func TestInsertLookupRoundTrip(t *testing.T) {
+	c := New[string](16, 2)
+	v, _, _, ev := c.Insert(100)
+	if ev {
+		t.Fatal("insert into empty cache evicted")
+	}
+	*v = "hello"
+	got, ok := c.Lookup(100)
+	if !ok || *got != "hello" {
+		t.Fatalf("Lookup(100) = %v %v", got, ok)
+	}
+	if _, ok := c.Lookup(101); ok {
+		t.Fatal("Lookup of absent address hit")
+	}
+}
+
+func TestInsertExistingIsHitNotReset(t *testing.T) {
+	c := New[int](8, 2)
+	v, _, _, _ := c.Insert(5)
+	*v = 42
+	v2, _, _, ev := c.Insert(5)
+	if ev {
+		t.Fatal("re-insert evicted")
+	}
+	if *v2 != 42 {
+		t.Fatalf("re-insert zeroed payload: %d", *v2)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way cache, 1 set: addresses all collide.
+	c := New[int](2, 2)
+	c.Insert(1)
+	c.Insert(2)
+	c.Lookup(1) // 1 is now MRU; 2 is LRU
+	_, evAddr, _, ev := c.Insert(3)
+	if !ev || evAddr != 2 {
+		t.Fatalf("evicted %v (ok=%v), want 2", evAddr, ev)
+	}
+	if _, ok := c.Peek(1); !ok {
+		t.Fatal("MRU line 1 was evicted")
+	}
+	if _, ok := c.Peek(3); !ok {
+		t.Fatal("inserted line 3 missing")
+	}
+}
+
+func TestEvictionReturnsPayload(t *testing.T) {
+	c := New[int](1, 1)
+	v, _, _, _ := c.Insert(7)
+	*v = 99
+	_, evAddr, evVal, ev := c.Insert(8)
+	if !ev || evAddr != 7 || evVal != 99 {
+		t.Fatalf("eviction returned (%d,%d,%v), want (7,99,true)", evAddr, evVal, ev)
+	}
+}
+
+func TestSetIndexingSeparatesSets(t *testing.T) {
+	c := New[int](4, 1) // 4 sets, direct mapped
+	c.Insert(0)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3)
+	for a := uint64(0); a < 4; a++ {
+		if _, ok := c.Peek(a); !ok {
+			t.Fatalf("address %d missing; sets not independent", a)
+		}
+	}
+	// 4 aliases with the same index evict each other.
+	_, evAddr, _, ev := c.Insert(4)
+	if !ev || evAddr != 0 {
+		t.Fatalf("alias insert evicted %d (ok=%v), want 0", evAddr, ev)
+	}
+}
+
+func TestInsertNoEvict(t *testing.T) {
+	c := New[int](2, 2)
+	if _, ok := c.InsertNoEvict(1); !ok {
+		t.Fatal("InsertNoEvict failed with free ways")
+	}
+	if _, ok := c.InsertNoEvict(2); !ok {
+		t.Fatal("InsertNoEvict failed with one free way")
+	}
+	if _, ok := c.InsertNoEvict(3); ok {
+		t.Fatal("InsertNoEvict succeeded on a full set")
+	}
+	// Existing line is fine even when full.
+	v, ok := c.InsertNoEvict(1)
+	if !ok || v == nil {
+		t.Fatal("InsertNoEvict of resident address failed")
+	}
+	if _, ok := c.Peek(2); !ok {
+		t.Fatal("resident line lost")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New[int](4, 2)
+	v, _, _, _ := c.Insert(9)
+	*v = 7
+	val, ok := c.Invalidate(9)
+	if !ok || val != 7 {
+		t.Fatalf("Invalidate returned (%d,%v)", val, ok)
+	}
+	if _, ok := c.Peek(9); ok {
+		t.Fatal("line still present after Invalidate")
+	}
+	if _, ok := c.Invalidate(9); ok {
+		t.Fatal("double Invalidate reported presence")
+	}
+}
+
+func TestHasFreeWay(t *testing.T) {
+	c := New[int](2, 2)
+	if !c.HasFreeWay(0) {
+		t.Fatal("empty set reported full")
+	}
+	c.Insert(0)
+	c.Insert(2)
+	if c.HasFreeWay(4) {
+		t.Fatal("full set reported free")
+	}
+	c.Invalidate(0)
+	if !c.HasFreeWay(4) {
+		t.Fatal("set with invalidated way reported full")
+	}
+}
+
+func TestLRUVictim(t *testing.T) {
+	c := New[int](4, 4)
+	c.Insert(0)
+	c.Insert(4)
+	c.Insert(8)
+	c.Lookup(0) // 4 is now LRU
+	addr, v, ok := c.LRUVictim(12, nil)
+	if !ok || addr != 4 || v == nil {
+		t.Fatalf("LRUVictim = (%d,%v,%v), want 4", addr, v, ok)
+	}
+	// Predicate can exclude the LRU line.
+	addr, _, ok = c.LRUVictim(12, func(a uint64, _ *int) bool { return a != 4 })
+	if !ok || addr != 8 {
+		t.Fatalf("filtered LRUVictim = (%d,%v), want 8", addr, ok)
+	}
+	// Excludes the probe address itself.
+	addr, _, ok = c.LRUVictim(4, nil)
+	if !ok || addr == 4 {
+		t.Fatalf("LRUVictim returned probe address")
+	}
+	// No candidates.
+	c2 := New[int](4, 4)
+	if _, _, ok := c2.LRUVictim(0, nil); ok {
+		t.Fatal("LRUVictim found a line in an empty cache")
+	}
+}
+
+func TestScanSetAndScanAll(t *testing.T) {
+	c := New[int](8, 2) // 4 sets
+	c.Insert(1)
+	c.Insert(5) // same set as 1
+	c.Insert(2)
+	var setAddrs []uint64
+	c.ScanSet(1, func(a uint64, _ *int) bool {
+		setAddrs = append(setAddrs, a)
+		return true
+	})
+	if len(setAddrs) != 2 {
+		t.Fatalf("ScanSet saw %v, want 2 lines", setAddrs)
+	}
+	n := 0
+	c.ScanAll(func(uint64, *int) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("ScanAll saw %d lines, want 3", n)
+	}
+	// Early termination.
+	n = 0
+	c.ScanAll(func(uint64, *int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("ScanAll ignored early stop, saw %d", n)
+	}
+}
+
+func TestLenAndMissRate(t *testing.T) {
+	c := New[int](8, 2)
+	if c.Len() != 0 || c.MissRate() != 0 {
+		t.Fatal("fresh cache not empty")
+	}
+	c.Insert(1)
+	c.Insert(2)
+	if c.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", c.Len())
+	}
+	c.Lookup(1)
+	c.Lookup(99)
+	if c.MissRate() != 0.5 {
+		t.Fatalf("MissRate=%v, want 0.5", c.MissRate())
+	}
+}
+
+// Property: the reconstructed line address of every resident line equals the
+// address it was inserted under, across random address streams and cache
+// shapes.
+func TestAddressReconstructionProperty(t *testing.T) {
+	shapes := []struct{ entries, ways int }{{16, 1}, {16, 2}, {64, 4}, {32, 8}}
+	err := quick.Check(func(addrs []uint16, shapeIdx uint8) bool {
+		sh := shapes[int(shapeIdx)%len(shapes)]
+		c := New[uint64](sh.entries, sh.ways)
+		for _, a16 := range addrs {
+			a := uint64(a16)
+			v, _, _, _ := c.Insert(a)
+			*v = a
+		}
+		good := true
+		c.ScanAll(func(lineAddr uint64, v *uint64) bool {
+			if lineAddr != *v {
+				good = false
+				return false
+			}
+			return true
+		})
+		return good
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: occupancy never exceeds capacity and Insert always leaves the
+// inserted address resident.
+func TestOccupancyProperty(t *testing.T) {
+	err := quick.Check(func(addrs []uint16) bool {
+		c := New[int](32, 4)
+		for _, a16 := range addrs {
+			a := uint64(a16)
+			c.Insert(a)
+			if _, ok := c.Peek(a); !ok {
+				return false
+			}
+			if c.Len() > c.Entries() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InsertNoEvict never removes any resident line.
+func TestInsertNoEvictNeverEvictsProperty(t *testing.T) {
+	err := quick.Check(func(addrs []uint16) bool {
+		c := New[int](16, 2)
+		resident := map[uint64]bool{}
+		for _, a16 := range addrs {
+			a := uint64(a16)
+			if _, ok := c.InsertNoEvict(a); ok {
+				resident[a] = true
+			}
+			for r := range resident {
+				if _, ok := c.Peek(r); !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

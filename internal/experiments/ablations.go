@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"innetcc/internal/protocol"
+	"innetcc/internal/trace"
+)
+
+// AblationResult compares the nominal in-network protocol against one
+// design variant, averaged over all benchmarks.
+type AblationResult struct {
+	Name string
+	// Read/Write are the variant's mean latencies; BaseRead/BaseWrite
+	// the nominal protocol's.
+	BaseRead, BaseWrite float64
+	Read, Write         float64
+	// ReadDelta/WriteDelta are the percentage change of the variant
+	// versus nominal (positive = variant slower).
+	ReadDelta, WriteDelta float64
+}
+
+// Ablations quantifies the design decisions DESIGN.md calls out by
+// toggling each off (or, for the Section 4 replication extension, on).
+// The runs use a pressured tree cache (512 entries, 2-way) because the
+// victim-caching and proactive-eviction optimizations only have work to do
+// when trees are being evicted — at the nominal 4K capacity our synthetic
+// footprints never stress them (see EXPERIMENTS.md, D1):
+//
+//   - victim caching off (Section 2.1's optimization);
+//   - proactive eviction off (Section 2.1's write-side optimization);
+//   - replication on (the paper's Section 4 future-work extension:
+//     replies leave copies at intermediate tree nodes).
+func Ablations(opt Options) ([]AblationResult, error) {
+	variants := []struct {
+		name string
+		mod  func(*protocol.Config)
+	}{
+		{"victim caching off", func(c *protocol.Config) { c.VictimCaching = false }},
+		{"proactive eviction off", func(c *protocol.Config) { c.ProactiveEviction = false }},
+		{"replication on (Sec. 4 ext.)", func(c *protocol.Config) { c.Replication = true }},
+	}
+	pressured := func() protocol.Config {
+		cfg := protocol.DefaultConfig()
+		cfg.Seed = opt.Seed
+		cfg.TreeEntries, cfg.TreeWays = 512, 2
+		return cfg
+	}
+	// Nominal reference, averaged over all benchmarks.
+	var nomR, nomW float64
+	for _, p := range trace.Benchmarks() {
+		cfg := pressured()
+		m, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		nomR += m.Lat.Read.Mean()
+		nomW += m.Lat.Write.Mean()
+	}
+	n := float64(len(trace.Benchmarks()))
+	nomR /= n
+	nomW /= n
+
+	var out []AblationResult
+	for _, v := range variants {
+		var r, w float64
+		for _, p := range trace.Benchmarks() {
+			cfg := pressured()
+			v.mod(&cfg)
+			m, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			r += m.Lat.Read.Mean()
+			w += m.Lat.Write.Mean()
+		}
+		r /= n
+		w /= n
+		out = append(out, AblationResult{
+			Name:     v.name,
+			BaseRead: nomR, BaseWrite: nomW,
+			Read: r, Write: w,
+			ReadDelta:  100 * (r - nomR) / nomR,
+			WriteDelta: 100 * (w - nomW) / nomW,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"innetcc/internal/directory"
+	"innetcc/internal/protocol"
+	"innetcc/internal/stats"
+	"innetcc/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Section 1 — ideal hop-count characterization.
+
+// HopResult is the per-benchmark outcome of the oracle hop study: the mean
+// percentage hop reduction an ideal in-transit protocol could achieve.
+type HopResult struct {
+	Bench     string
+	ReadPct   float64 // mean (base-ideal)/base over reads
+	WritePct  float64
+	ReadBase  float64 // mean baseline hops, for reference
+	WriteBase float64
+}
+
+// HopCountStudy reproduces the Section 1 characterization: for every
+// coherence access, the baseline directory hop count versus the oracle
+// ideal (closest valid copy for reads; earliest-possible invalidation for
+// writes). Paper: reads up to 35.8% (19.7% average), writes up to 32.4%
+// (17.3% average).
+func HopCountStudy(opt Options) ([]HopResult, error) {
+	var out []HopResult
+	for _, p := range trace.Benchmarks() {
+		cfg := protocol.DefaultConfig()
+		cfg.Seed = opt.Seed
+		tr := trace.Generate(p, cfg.Nodes(), opt.AccessesPerNode, opt.Seed)
+		m, err := protocol.NewMachine(cfg, tr, p.Think)
+		if err != nil {
+			return nil, err
+		}
+		e := directory.New(m)
+		var rBase, rIdeal, wBase, wIdeal float64
+		var rN, wN int
+		e.HopRecorder = func(write bool, base, ideal int) {
+			if base == 0 {
+				return
+			}
+			if write {
+				wBase += float64(base)
+				wIdeal += float64(ideal)
+				wN++
+			} else {
+				rBase += float64(base)
+				rIdeal += float64(ideal)
+				rN++
+			}
+		}
+		if err := m.Run(maxCycles); err != nil {
+			return nil, err
+		}
+		hr := HopResult{Bench: p.Name}
+		if rN > 0 {
+			hr.ReadPct = 100 * (rBase - rIdeal) / rBase
+			hr.ReadBase = rBase / float64(rN)
+		}
+		if wN > 0 {
+			hr.WritePct = 100 * (wBase - wIdeal) / wBase
+			hr.WriteBase = wBase / float64(wN)
+		}
+		out = append(out, hr)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — read/write latency reduction, 16 nodes, nominal config.
+
+// Figure5 runs all eight benchmarks on the Table 2 configuration and
+// returns per-benchmark latency reductions plus the average row. Paper:
+// reads -27.1% average (up to 35.5%), writes -41.2% average (up to 53.6%);
+// write reduction exceeds read reduction for all but one benchmark; lu and
+// rad show the least read savings.
+func Figure5(opt Options) ([]PairResult, error) {
+	var out []PairResult
+	for _, p := range trace.Benchmarks() {
+		cfg := protocol.DefaultConfig()
+		cfg.Seed = opt.Seed
+		r, err := runPair(cfg, p, opt.AccessesPerNode, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	out = append(out, averagePair(out))
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — tree cache size sweep (victim caching disabled).
+
+// SweepPoint is one benchmark's normalized latencies at one configuration.
+type SweepPoint struct {
+	Bench string
+	Value int // swept parameter (entries, ways, L2 entries, pipeline)
+	Read  float64
+	Write float64
+}
+
+// Figure6Sizes is the swept tree-cache capacity grid; 512K entries is the
+// paper's effectively-unbounded normalization point.
+var Figure6Sizes = []int{512 * 1024, 8192, 4096, 2048, 512}
+
+// Figure6 sweeps the tree cache size with victim caching disabled and
+// returns read/write latencies normalized to the largest configuration.
+// Paper: read latency rises steadily as the cache shrinks (more trees
+// evicted, more off-chip refetches); write latency is insensitive.
+func Figure6(opt Options) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, p := range trace.Benchmarks() {
+		var ref SweepPoint
+		for i, size := range Figure6Sizes {
+			cfg := protocol.DefaultConfig()
+			cfg.Seed = opt.Seed
+			cfg.VictimCaching = false
+			cfg.TreeEntries = size
+			m, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			pt := SweepPoint{Bench: p.Name, Value: size, Read: m.Lat.Read.Mean(), Write: m.Lat.Write.Mean()}
+			if i == 0 {
+				ref = pt
+			}
+			pt.Read /= ref.Read
+			pt.Write /= ref.Write
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — tree cache associativity sweep (victim caching disabled).
+
+// Figure7Ways is the swept associativity grid; latencies are normalized to
+// the 8-way point as in the paper.
+var Figure7Ways = []int{8, 4, 2, 1}
+
+// Figure7 sweeps tree cache associativity at 4K entries. Paper: latency is
+// best at 4-way — direct-mapped suffers conflict misses, while 8-way
+// suffers proactive-eviction misses (larger sets give passing writes more
+// victims to tear down).
+func Figure7(opt Options) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, p := range trace.Benchmarks() {
+		var ref SweepPoint
+		for i, ways := range Figure7Ways {
+			cfg := protocol.DefaultConfig()
+			cfg.Seed = opt.Seed
+			cfg.VictimCaching = false
+			cfg.TreeWays = ways
+			m, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			pt := SweepPoint{Bench: p.Name, Value: ways, Read: m.Lat.Read.Mean(), Write: m.Lat.Write.Mean()}
+			if i == 0 {
+				ref = pt
+			}
+			pt.Read /= ref.Read
+			pt.Write /= ref.Write
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — L2 data cache size sweep (both protocols).
+
+// Figure8L2 is the swept L2 capacity grid in entries (2 MB, 512 KB, 128 KB
+// at 32-byte lines).
+var Figure8L2 = []int{65536, 16384, 4096}
+
+// Figure8Point carries the reduction of in-network versus baseline at one
+// L2 size.
+type Figure8Point struct {
+	Bench    string
+	L2       int
+	ReadRed  float64
+	WriteRed float64
+}
+
+// Figure8 compares the protocols at shrinking L2 sizes. Paper: gains shrink
+// with smaller L2 (less room for victimized data at the home node); rad and
+// ray — the large-footprint benchmarks — go negative at 128 KB; writes stay
+// insensitive.
+func Figure8(opt Options) ([]Figure8Point, error) {
+	var out []Figure8Point
+	for _, p := range trace.Benchmarks() {
+		for _, l2 := range Figure8L2 {
+			cfg := protocol.DefaultConfig()
+			cfg.Seed = opt.Seed
+			cfg.L2Entries = l2
+			r, err := runPair(cfg, p, opt.AccessesPerNode, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Figure8Point{Bench: p.Name, L2: l2,
+				ReadRed: r.ReadReduction(), WriteRed: r.WriteReduction()})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — 64-node scalability.
+
+// Figure9 runs the full comparison on an 8-by-8 mesh. Paper: savings grow
+// to 35% (reads) and 48% (writes) on average — in-transit optimization
+// scales with the network.
+func Figure9(opt Options) ([]PairResult, error) {
+	var out []PairResult
+	for _, p := range trace.Benchmarks() {
+		cfg := protocol.DefaultConfig()
+		cfg.MeshW, cfg.MeshH = 8, 8
+		cfg.Seed = opt.Seed
+		r, err := runPair(cfg, p, opt.AccessesPerNode64, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	out = append(out, averagePair(out))
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — deadlock recovery cost (direct-mapped tree caches).
+
+// Table4Row is the share of read/write latency spent in deadlock detection
+// and recovery for one benchmark.
+type Table4Row struct {
+	Bench    string
+	ReadPct  float64
+	WritePct float64
+	Aborts   int64
+}
+
+// Table4 measures the timeout/backoff recovery cost with the direct-mapped
+// 4K tree cache the paper uses for this experiment. Paper: about 0.2% of
+// overall latency on average.
+func Table4(opt Options) ([]Table4Row, error) {
+	var out []Table4Row
+	for _, p := range trace.Benchmarks() {
+		cfg := protocol.DefaultConfig()
+		cfg.Seed = opt.Seed
+		cfg.TreeWays = 1
+		m, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		r, w := m.Lat.DeadlockShare()
+		out = append(out, Table4Row{Bench: p.Name, ReadPct: r, WritePct: w,
+			Aborts: m.Counters.Get("tree.deadlock_aborts")})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — in-network versus above-network implementation.
+
+// Figure10 compares the in-network tree protocol against the GLOW-like
+// variant whose tree caches sit at the network interfaces (every per-hop
+// tree access pays an ejection and re-injection). Paper: the in-network
+// implementation saves 31% (reads) and 49.1% (writes) on average, roughly
+// flat across benchmarks.
+func Figure10(opt Options) ([]PairResult, error) {
+	var out []PairResult
+	for _, p := range trace.Benchmarks() {
+		cfgIn := protocol.DefaultConfig()
+		cfgIn.Seed = opt.Seed
+		mIn, _, err := runTree(cfgIn, p, opt.AccessesPerNode, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfgAb := protocol.DefaultConfig()
+		cfgAb.Seed = opt.Seed
+		cfgAb.AboveNetworkTree = true
+		mAb, _, err := runTree(cfgAb, p, opt.AccessesPerNode, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// "Baseline" here is the above-network variant.
+		out = append(out, PairResult{
+			Bench:     p.Name,
+			BaseRead:  mAb.Lat.Read.Mean(),
+			BaseWrite: mAb.Lat.Write.Mean(),
+			TreeRead:  mIn.Lat.Read.Mean(),
+			TreeWrite: mIn.Lat.Write.Mean(),
+		})
+	}
+	out = append(out, averagePair(out))
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — router pipeline depth sweep.
+
+// Figure11Point is the overall memory-latency reduction at one baseline
+// pipeline depth (the in-network router is one cycle deeper).
+type Figure11Point struct {
+	Bench    string
+	Pipeline int
+	Red      float64 // overall (read+write) mean latency reduction, percent
+}
+
+// Figure11Depths sweeps the baseline pipeline from 5 down to 1 cycle.
+var Figure11Depths = []int{5, 4, 3, 2, 1}
+
+// Figure11 shows the in-network advantage shrinking as router pipelines
+// shorten (the +1 tree-cache stage weighs relatively more). Paper: savings
+// decrease monotonically toward the 2-versus-1-cycle point.
+func Figure11(opt Options) ([]Figure11Point, error) {
+	var out []Figure11Point
+	for _, p := range trace.Benchmarks() {
+		for _, depth := range Figure11Depths {
+			cfg := protocol.DefaultConfig()
+			cfg.Seed = opt.Seed
+			cfg.BasePipeline = int64(depth)
+			mb, _, err := runDir(cfg, p, opt.AccessesPerNode, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			mt, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			base := overallMean(mb)
+			tree := overallMean(mt)
+			out = append(out, Figure11Point{Bench: p.Name, Pipeline: depth,
+				Red: stats.Reduction(base, tree)})
+		}
+	}
+	return out, nil
+}
+
+func overallMean(m *protocol.Machine) float64 {
+	n := m.Lat.Read.N + m.Lat.Write.N
+	if n == 0 {
+		return 0
+	}
+	return (m.Lat.Read.Sum + m.Lat.Write.Sum) / float64(n)
+}
+
+// ---------------------------------------------------------------------------
+// Section 3.6 — storage scalability.
+
+// StorageRow compares per-node coherence storage for one system size.
+type StorageRow struct {
+	Nodes        int
+	TreeBits     int64   // per node, in-network implementation
+	DirBits      int64   // per node, full-map directory
+	TreeOverhead float64 // (tree-dir)/dir in percent
+}
+
+// StorageStudy reproduces the Section 3.6 bit counting: the tree cache
+// entry is tag (19) plus the 9-bit line regardless of system size, while a
+// full-map directory entry grows with the node count. Paper: +56% overhead
+// at 16 nodes, -58% at 64 nodes.
+func StorageStudy() []StorageRow {
+	entries := int64(4096)
+	var out []StorageRow
+	for _, n := range []int{16, 64} {
+		// In-network: 19-bit tag + 9-bit tree line = 28 bits.
+		treeBits := entries * 28
+		// Directory: tag + full-map sharer vector (N bits) + owner
+		// (log2 N) + busy/request bits, per the paper's 18-bit (16
+		// nodes) and 66-bit (64 nodes) entries.
+		var dirEntry int64
+		if n == 16 {
+			dirEntry = 18
+		} else {
+			dirEntry = 66
+		}
+		dirBits := entries * dirEntry
+		out = append(out, StorageRow{
+			Nodes:        n,
+			TreeBits:     treeBits,
+			DirBits:      dirBits,
+			TreeOverhead: 100 * float64(treeBits-dirBits) / float64(dirBits),
+		})
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation section (Section 3), plus the Section 1 hop-count
+// characterization and the Section 3.6 storage-scalability analysis. Each
+// driver regenerates the corresponding result rows/series; DESIGN.md maps
+// every experiment to the modules it exercises and EXPERIMENTS.md records
+// paper-versus-measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"innetcc/internal/directory"
+	"innetcc/internal/protocol"
+	"innetcc/internal/stats"
+	"innetcc/internal/trace"
+	"innetcc/internal/treecc"
+)
+
+// Options scales the experiments: AccessesPerNode trades fidelity for run
+// time; Seed drives all randomness.
+type Options struct {
+	AccessesPerNode   int
+	AccessesPerNode64 int
+	Seed              uint64
+}
+
+// DefaultOptions is sized so the full suite completes in a couple of
+// minutes while keeping per-benchmark orderings stable.
+func DefaultOptions() Options {
+	return Options{AccessesPerNode: 400, AccessesPerNode64: 120, Seed: 42}
+}
+
+// maxCycles bounds every simulation; a run hitting it indicates a protocol
+// bug and is surfaced as an error.
+const maxCycles = 200_000_000
+
+// runDir runs the baseline directory protocol for one benchmark.
+func runDir(cfg protocol.Config, p trace.Profile, accesses int, seed uint64) (*protocol.Machine, *directory.Engine, error) {
+	tr := trace.Generate(p, cfg.Nodes(), accesses, seed)
+	m, err := protocol.NewMachine(cfg, tr, p.Think)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := directory.New(m)
+	if err := m.Run(maxCycles); err != nil {
+		return nil, nil, fmt.Errorf("%s baseline: %w", p.Name, err)
+	}
+	return m, e, nil
+}
+
+// runTree runs the in-network protocol for one benchmark.
+func runTree(cfg protocol.Config, p trace.Profile, accesses int, seed uint64) (*protocol.Machine, *treecc.Engine, error) {
+	tr := trace.Generate(p, cfg.Nodes(), accesses, seed)
+	m, err := protocol.NewMachine(cfg, tr, p.Think)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := treecc.New(m)
+	if err := m.Run(maxCycles); err != nil {
+		return nil, nil, fmt.Errorf("%s tree: %w", p.Name, err)
+	}
+	return m, e, nil
+}
+
+// PairResult compares the two protocols on one benchmark.
+type PairResult struct {
+	Bench     string
+	BaseRead  float64
+	BaseWrite float64
+	TreeRead  float64
+	TreeWrite float64
+}
+
+// ReadReduction returns the in-network read-latency reduction in percent.
+func (r PairResult) ReadReduction() float64 { return stats.Reduction(r.BaseRead, r.TreeRead) }
+
+// WriteReduction returns the in-network write-latency reduction in percent.
+func (r PairResult) WriteReduction() float64 { return stats.Reduction(r.BaseWrite, r.TreeWrite) }
+
+// runPair runs both protocols on the same trace and returns the comparison.
+func runPair(cfg protocol.Config, p trace.Profile, accesses int, seed uint64) (PairResult, error) {
+	mb, _, err := runDir(cfg, p, accesses, seed)
+	if err != nil {
+		return PairResult{}, err
+	}
+	mt, _, err := runTree(cfg, p, accesses, seed)
+	if err != nil {
+		return PairResult{}, err
+	}
+	return PairResult{
+		Bench:     p.Name,
+		BaseRead:  mb.Lat.Read.Mean(),
+		BaseWrite: mb.Lat.Write.Mean(),
+		TreeRead:  mt.Lat.Read.Mean(),
+		TreeWrite: mt.Lat.Write.Mean(),
+	}, nil
+}
+
+// averagePair folds a slice of pair results into an "avg" row.
+func averagePair(rs []PairResult) PairResult {
+	var a PairResult
+	a.Bench = "avg"
+	for _, r := range rs {
+		a.BaseRead += r.BaseRead
+		a.BaseWrite += r.BaseWrite
+		a.TreeRead += r.TreeRead
+		a.TreeWrite += r.TreeWrite
+	}
+	n := float64(len(rs))
+	if n > 0 {
+		a.BaseRead /= n
+		a.BaseWrite /= n
+		a.TreeRead /= n
+		a.TreeWrite /= n
+	}
+	return a
+}

@@ -1,0 +1,125 @@
+package mcheck
+
+import "fmt"
+
+// Invariants checked in every reachable state, following the paper's Murφ
+// rules ("write operations to the same memory address must be observed in
+// the same order by all the processor nodes", plus MSI coherence):
+//
+//  1. at most one Modified copy exists;
+//  2. a Modified copy excludes every other valid copy (single-writer);
+//  3. with no Modified copy in the system, every Shared copy holds the
+//     memory-current version (no stale survivors);
+//  4. version counters are sane (no copy newer than the commit counter).
+func (c *Checker) checkInvariants(s *state) {
+	mCount, mNode := 0, -1
+	for n := 0; n < nodes; n++ {
+		if s.data[n] == dModified {
+			mCount++
+			mNode = n
+		}
+		if s.dver[n] > s.wrote {
+			c.fail("node %d holds version %d beyond commit counter %d", n, s.dver[n], s.wrote)
+		}
+	}
+	if mCount > 1 {
+		c.fail("%d Modified copies coexist", mCount)
+	}
+	if mCount == 1 {
+		for n := 0; n < nodes; n++ {
+			if n != mNode && s.data[n] != dInvalid {
+				c.fail("node %d holds a copy while node %d is Modified: %s", n, mNode, c.describe(s))
+			}
+		}
+	} else {
+		for n := 0; n < nodes; n++ {
+			if s.data[n] == dShared && s.dver[n] != s.memV {
+				c.fail("node %d Shared copy v%d is stale (memory v%d): %s", n, s.dver[n], s.memV, c.describe(s))
+			}
+		}
+	}
+	if s.memV > s.wrote {
+		c.fail("memory version %d beyond commit counter %d", s.memV, s.wrote)
+	}
+}
+
+// checkSoleCopy runs at a write commit: Requirement of MSI — no other node
+// may hold a valid copy at the serialization point.
+func (c *Checker) checkSoleCopy(s *state, writer int) {
+	for n := 0; n < nodes; n++ {
+		if n != writer && s.data[n] != dInvalid {
+			c.fail("write commit at n%d while n%d holds a copy: %s", writer, n, c.describe(s))
+		}
+	}
+}
+
+// checkLocalRead runs at a local cache hit: the copy must be current.
+func (c *Checker) checkLocalRead(s *state, node int) {
+	if s.data[node] == dShared && s.dver[node] != s.memV {
+		// With an M copy elsewhere the M-excludes-S invariant already
+		// fired; here memory is the reference.
+		c.fail("local read at n%d observed stale v%d (memory v%d)", node, s.dver[node], s.memV)
+	}
+}
+
+// checkTerminal validates fully drained end states: the surviving virtual
+// tree (if any) must be structurally sound and all data copies anchored.
+func (c *Checker) checkTerminal(s *state) {
+	roots := 0
+	members := 0
+	for n := 0; n < nodes; n++ {
+		t := &s.lines[n]
+		if !t.Valid {
+			if s.data[n] != dInvalid && n != c.Home {
+				c.fail("terminal: n%d holds data with no tree line: %s", n, c.describe(s))
+			}
+			continue
+		}
+		members++
+		if t.Touched {
+			c.fail("terminal: n%d line left touched", n)
+		}
+		if t.IsRoot {
+			roots++
+		} else if t.RootDir == dirNone || !t.Links[t.RootDir] {
+			c.fail("terminal: n%d RootDir not a live link: %s", n, c.describe(s))
+		}
+		for d := 0; d < 4; d++ {
+			if !t.Links[d] {
+				continue
+			}
+			nb := neighbor(n, d)
+			if nb < 0 || !s.lines[nb].Valid {
+				c.fail("terminal: n%d link %d dangles", n, d)
+			} else if !s.lines[nb].Links[opposite(d)] {
+				// One-way tails are cleaned by unlink acks before
+				// quiescence; none may survive.
+				c.fail("terminal: asymmetric edge %d->%d: %s", n, nb, c.describe(s))
+			}
+		}
+		if t.LocalV != (s.data[n] != dInvalid) {
+			c.fail("terminal: n%d LocalV=%v but data state %d", n, t.LocalV, s.data[n])
+		}
+	}
+	if members > 0 {
+		if roots != 1 {
+			c.fail("terminal: %d roots among %d tree members: %s", roots, members, c.describe(s))
+		}
+		if !s.lines[c.Home].Valid {
+			c.fail("terminal: home not part of surviving tree: %s", c.describe(s))
+		}
+	}
+	// Every read must have sampled some committed version (0 = initial
+	// memory is also legal).
+	for i, o := range s.ops {
+		if !c.Ops[i].Write && o.Sampled > s.wrote {
+			c.fail("terminal: read %d sampled impossible version %d", i, o.Sampled)
+		}
+	}
+}
+
+// String renders a result for logs.
+func (r Result) String() string {
+	return fmt.Sprintf("states=%d transitions=%d terminals=%d violations=%d deadlocks=%d",
+		r.States, r.Transitions, r.Terminals, len(r.Violations), len(r.Deadlocks))
+}

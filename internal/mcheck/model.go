@@ -1,0 +1,431 @@
+// Package mcheck is the repository's stand-in for the paper's Murφ
+// verification (Section 2.4): an explicit-state model checker that
+// exhaustively explores a reduced model of the in-network MSI protocol and
+// checks coherence and sequential-consistency invariants in every reachable
+// state.
+//
+// The reduced model mirrors the paper's: a small mesh, a single cache line,
+// a bounded set of concurrent operations ("multiple concurrent reads and up
+// to two concurrent writes"), message-type-accurate protocol transitions
+// (RD_REQ, RD_REPLY, WR_REQ, WR_REPLY, TEARDOWN, TD_ACK), FIFO channels
+// between adjacent routers, and atomic above-network data accesses. Tree
+// cache capacity conflicts, evictions and the timeout recovery they require
+// are outside the backbone being checked, exactly as in the paper's Murφ
+// spec.
+package mcheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mesh geometry of the reduced model.
+const (
+	meshW = 2
+	meshH = 2
+	nodes = meshW * meshH
+)
+
+// Directions, matching the full simulator's encoding.
+const (
+	dirN = iota
+	dirS
+	dirE
+	dirW
+	dirNone
+)
+
+func opposite(d int) int {
+	switch d {
+	case dirN:
+		return dirS
+	case dirS:
+		return dirN
+	case dirE:
+		return dirW
+	case dirW:
+		return dirE
+	}
+	return dirNone
+}
+
+func neighbor(n, d int) int {
+	x, y := n%meshW, n/meshW
+	switch d {
+	case dirN:
+		y--
+	case dirS:
+		y++
+	case dirE:
+		x++
+	case dirW:
+		x--
+	}
+	if x < 0 || x >= meshW || y < 0 || y >= meshH {
+		return -1
+	}
+	return y*meshW + x
+}
+
+func xyTo(from, to int) int {
+	fx, fy := from%meshW, from/meshW
+	tx, ty := to%meshW, to/meshW
+	switch {
+	case tx > fx:
+		return dirE
+	case tx < fx:
+		return dirW
+	case ty > fy:
+		return dirS
+	case ty < fy:
+		return dirN
+	}
+	return dirNone
+}
+
+// Message types.
+const (
+	mRdReq = iota
+	mRdReply
+	mWrReq
+	mWrReply
+	mTeardown
+	mTdAck
+)
+
+var msgNames = [...]string{"RD_REQ", "RD_REPLY", "WR_REQ", "WR_REPLY", "TEARDOWN", "TD_ACK"}
+
+// msg is a protocol message in flight. Op identifies the operation it
+// serves (-1 for teardowns/acks). Ver is the data version carried by read
+// replies. Root marks fresh-tree replies. Built mirrors the simulator's
+// BuiltLast.
+type msg struct {
+	Type  int8
+	Op    int8
+	Ver   int8
+	Root  bool
+	Built bool
+	// HomeServe marks a request that owns the home-serve window (the
+	// model's rendering of the simulator's Msg.HomeServe).
+	HomeServe bool
+}
+
+// treeLine is the reduced virtual tree cache line.
+type treeLine struct {
+	Valid    bool
+	Touched  bool
+	IsRoot   bool
+	RootDir  int8
+	Links    [4]bool
+	LocalV   bool // local data copy valid
+	Anchored bool // outstanding-request bit: a reply anchored this line
+}
+
+func (t *treeLine) linkCount() int {
+	c := 0
+	for _, b := range t.Links {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+func (t *treeLine) onlyLink() int {
+	for d, b := range t.Links {
+		if b {
+			return d
+		}
+	}
+	return dirNone
+}
+
+// Data cache states.
+const (
+	dInvalid = iota
+	dShared
+	dModified
+)
+
+// Op phases.
+const (
+	opNotIssued = iota
+	opInFlight
+	opDone
+)
+
+// Op is one memory operation of the model's concurrent program.
+type Op struct {
+	Node  int
+	Write bool
+}
+
+// opState tracks an operation's progress and, for reads, the version it
+// sampled.
+type opState struct {
+	Phase   int8
+	Sampled int8
+}
+
+// state is one global protocol state. Channels are FIFO per directed mesh
+// edge; nicq are the above-network service queues; homeq holds requests
+// queued at the home during teardown; pending marks the home-serve
+// serialization window.
+type state struct {
+	lines [nodes]treeLine
+	data  [nodes]int8 // dInvalid/dShared/dModified
+	dver  [nodes]int8
+	memV  int8
+	wrote int8 // committed writes so far
+	ops   []opState
+	chans [nodes][4][]msg // outgoing FIFO per direction
+	nicq  [nodes][]msg
+	homeq []msg // queued while the tree is being torn down
+	pendq []msg // queued while a home serve is in flight
+	pend  bool
+}
+
+func (s *state) clone() *state {
+	c := *s
+	c.ops = append([]opState(nil), s.ops...)
+	for n := 0; n < nodes; n++ {
+		for d := 0; d < 4; d++ {
+			c.chans[n][d] = append([]msg(nil), s.chans[n][d]...)
+		}
+		c.nicq[n] = append([]msg(nil), s.nicq[n]...)
+	}
+	c.homeq = append([]msg(nil), s.homeq...)
+	c.pendq = append([]msg(nil), s.pendq...)
+	return &c
+}
+
+// key builds a canonical encoding for the visited set.
+func (s *state) key() string {
+	b := make([]byte, 0, 128)
+	for n := 0; n < nodes; n++ {
+		t := &s.lines[n]
+		var flags byte
+		if t.Valid {
+			flags |= 1
+		}
+		if t.Touched {
+			flags |= 2
+		}
+		if t.IsRoot {
+			flags |= 4
+		}
+		if t.LocalV {
+			flags |= 8
+		}
+		if t.Anchored {
+			flags |= 16
+		}
+		b = append(b, flags, byte(t.RootDir))
+		var lb byte
+		for d := 0; d < 4; d++ {
+			if t.Links[d] {
+				lb |= 1 << d
+			}
+		}
+		b = append(b, lb, byte(s.data[n]), byte(s.dver[n]))
+	}
+	b = append(b, byte(s.memV), byte(s.wrote))
+	for _, o := range s.ops {
+		b = append(b, byte(o.Phase), byte(o.Sampled))
+	}
+	enc := func(q []msg) {
+		b = append(b, byte(len(q)))
+		for _, m := range q {
+			var f byte
+			if m.Root {
+				f |= 1
+			}
+			if m.Built {
+				f |= 2
+			}
+			if m.HomeServe {
+				f |= 4
+			}
+			b = append(b, byte(m.Type), byte(m.Op), byte(m.Ver), f)
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		for d := 0; d < 4; d++ {
+			enc(s.chans[n][d])
+		}
+		enc(s.nicq[n])
+	}
+	enc(s.homeq)
+	enc(s.pendq)
+	if s.pend {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// Result summarizes a model-checking run.
+type Result struct {
+	States      int
+	Transitions int
+	// Violations lists invariant failures (empty on success).
+	Violations []string
+	// Deadlocks lists non-terminal states with no enabled transition.
+	Deadlocks []string
+	// Terminals counts fully drained end states.
+	Terminals int
+}
+
+// Checker runs the exploration.
+type Checker struct {
+	Home      int
+	Ops       []Op
+	MaxStates int
+
+	// DisableAckHold and DisableAnchor switch off two protocol
+	// protections (the outstanding-request acknowledgment hold and the
+	// completion anchor). They exist for mutation tests that prove the
+	// checker detects the races those protections close.
+	DisableAckHold bool
+	DisableAnchor  bool
+
+	violations []string
+	deadlocks  []string
+}
+
+// New returns a checker for the given concurrent program. home is the
+// line's home node.
+func New(home int, ops []Op) *Checker {
+	return &Checker{Home: home, Ops: ops, MaxStates: 2_000_000}
+}
+
+// DefaultProgram mirrors the paper's Murφ bound: concurrent reads on two
+// nodes and two concurrent writes.
+func DefaultProgram() (home int, ops []Op) {
+	return 0, []Op{
+		{Node: 1, Write: false},
+		{Node: 2, Write: false},
+		{Node: 3, Write: true},
+		{Node: 1, Write: true},
+	}
+}
+
+// Run explores the full state space with BFS and returns the result.
+func (c *Checker) Run() Result {
+	init := &state{}
+	init.ops = make([]opState, len(c.Ops))
+	for n := 0; n < nodes; n++ {
+		init.data[n] = dInvalid
+		init.lines[n].RootDir = dirNone
+	}
+	type edge struct {
+		parent string
+		label  string
+	}
+	parents := map[string]edge{}
+	visited := map[string]bool{init.key(): true}
+	frontier := []*state{init}
+	res := Result{States: 1}
+	trace := func(k string) string {
+		var labels []string
+		for {
+			e, ok := parents[k]
+			if !ok {
+				break
+			}
+			labels = append(labels, e.label)
+			k = e.parent
+		}
+		out := ""
+		for i := len(labels) - 1; i >= 0; i-- {
+			out += labels[i] + "; "
+		}
+		return out
+	}
+	for len(frontier) > 0 && res.States < c.MaxStates && len(c.violations) == 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		sk := s.key()
+		vpre := len(c.violations)
+		succs := c.successors(s)
+		for i := vpre; i < len(c.violations); i++ {
+			c.violations[i] += "\n  trace: " + trace(sk)
+		}
+		if len(succs) == 0 {
+			if c.isTerminal(s) {
+				res.Terminals++
+				c.checkTerminal(s)
+			} else if len(c.deadlocks) < 2 {
+				c.deadlocks = append(c.deadlocks, c.describe(s)+"\n  trace: "+trace(sk))
+			}
+			continue
+		}
+		for _, ns := range succs {
+			res.Transitions++
+			pre := len(c.violations)
+			c.checkInvariants(ns.s)
+			k := ns.s.key()
+			if len(c.violations) > pre {
+				c.violations[len(c.violations)-1] += "\n  trace: " + trace(sk) + ns.label
+			}
+			if !visited[k] {
+				visited[k] = true
+				parents[k] = edge{parent: sk, label: ns.label}
+				res.States++
+				frontier = append(frontier, ns.s)
+			}
+		}
+	}
+	res.Violations = c.violations
+	res.Deadlocks = c.deadlocks
+	return res
+}
+
+func (c *Checker) isTerminal(s *state) bool {
+	for _, o := range s.ops {
+		if o.Phase != opDone {
+			return false
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		for d := 0; d < 4; d++ {
+			if len(s.chans[n][d]) > 0 {
+				return false
+			}
+		}
+		if len(s.nicq[n]) > 0 {
+			return false
+		}
+	}
+	return len(s.homeq) == 0 && len(s.pendq) == 0 && !s.pend
+}
+
+func (c *Checker) fail(format string, args ...interface{}) {
+	if len(c.violations) < 10 {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *Checker) describe(s *state) string {
+	out := ""
+	for n := 0; n < nodes; n++ {
+		t := &s.lines[n]
+		if t.Valid {
+			out += fmt.Sprintf("n%d{links=%v root=%d isRoot=%v touched=%v lv=%v} ", n, t.Links, t.RootDir, t.IsRoot, t.Touched, t.LocalV)
+		}
+	}
+	var msgs []string
+	for n := 0; n < nodes; n++ {
+		for d := 0; d < 4; d++ {
+			for _, m := range s.chans[n][d] {
+				msgs = append(msgs, fmt.Sprintf("%s@%d->%d", msgNames[m.Type], n, d))
+			}
+		}
+		for _, m := range s.nicq[n] {
+			msgs = append(msgs, fmt.Sprintf("nic%d:%s", n, msgNames[m.Type]))
+		}
+	}
+	sort.Strings(msgs)
+	return out + fmt.Sprint(msgs, " homeq=", len(s.homeq), " pend=", s.pend)
+}

@@ -1,0 +1,77 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFreshMemoryReadsZero(t *testing.T) {
+	m := New(200)
+	if v := m.Read(42); v != 0 {
+		t.Fatalf("fresh memory read %d, want 0", v)
+	}
+	if m.Latency() != 200 {
+		t.Fatalf("latency %d, want 200", m.Latency())
+	}
+}
+
+func TestWritebackThenRead(t *testing.T) {
+	m := New(200)
+	m.Writeback(7, 3)
+	if v := m.Read(7); v != 3 {
+		t.Fatalf("read %d, want 3", v)
+	}
+	if v := m.Read(8); v != 0 {
+		t.Fatalf("unwritten line read %d, want 0", v)
+	}
+}
+
+func TestStaleWritebackIgnored(t *testing.T) {
+	m := New(200)
+	m.Writeback(1, 5)
+	m.Writeback(1, 3) // stale
+	if v := m.Peek(1); v != 5 {
+		t.Fatalf("stale writeback rolled memory back to %d", v)
+	}
+	m.Writeback(1, 6)
+	if v := m.Peek(1); v != 6 {
+		t.Fatalf("newer writeback not applied: %d", v)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	m := New(200)
+	m.Read(1)
+	m.Read(2)
+	m.Writeback(1, 1)
+	if m.Reads != 2 || m.Writebacks != 1 {
+		t.Fatalf("accounting %d/%d, want 2/1", m.Reads, m.Writebacks)
+	}
+	if m.Peek(1); m.Reads != 2 {
+		t.Fatal("Peek affected accounting")
+	}
+	if m.Lines() != 1 {
+		t.Fatalf("Lines=%d, want 1", m.Lines())
+	}
+}
+
+// Property: memory versions are monotone non-decreasing per line no matter
+// the writeback order.
+func TestVersionMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(writes []uint8) bool {
+		m := New(1)
+		last := uint64(0)
+		for _, w := range writes {
+			m.Writeback(0, uint64(w))
+			v := m.Peek(0)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

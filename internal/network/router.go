@@ -1,0 +1,246 @@
+package network
+
+import (
+	"fmt"
+
+	"innetcc/internal/sim"
+)
+
+// numInPorts: N, S, E, W, Local (NIC injection), Gen (protocol-spawned).
+const (
+	portGen     = 5
+	numInPorts  = 6
+	numOutPorts = 5 // N, S, E, W, Local (ejection)
+)
+
+type fifoEntry struct {
+	pkt     *Packet
+	readyAt int64 // cycle the head flit clears this router's pipeline
+}
+
+// Router is one mesh router. It owns per-input-port, per-VC FIFOs, a k-cycle
+// pipeline, and round-robin arbitration per output port.
+type Router struct {
+	// NodeID is the router's position, equal to the attached node's id.
+	NodeID int
+	mesh   *Mesh
+
+	in       [numInPorts][]fifoQueue // indexed [port][vc]
+	busyTill [numOutPorts]int64
+
+	// ExtraHopDelay is added to every packet's per-hop pipeline time at
+	// this router. The Figure 10 experiment uses it to model an
+	// above-network tree-cache implementation where each lookup must
+	// leave and re-enter the router.
+	ExtraHopDelay int64
+}
+
+type fifoQueue struct {
+	q []fifoEntry
+}
+
+func (f *fifoQueue) push(e fifoEntry) { f.q = append(f.q, e) }
+func (f *fifoQueue) head() *fifoEntry {
+	if len(f.q) == 0 {
+		return nil
+	}
+	return &f.q[0]
+}
+func (f *fifoQueue) pop() fifoEntry {
+	e := f.q[0]
+	f.q = f.q[1:]
+	return e
+}
+
+// Mesh is a w-by-h grid of routers sharing one routing Policy. Node i sits
+// at (i%w, i/w).
+type Mesh struct {
+	W, H     int
+	Pipeline int64
+	VCCount  int
+	Routers  []*Router
+	Policy   Policy
+
+	kernel   *sim.Kernel
+	nextID   uint64
+	routeSeq uint64
+
+	// EjectFn is invoked (one cycle after the grant) when a packet
+	// leaves through a router's local ejection port. It must be set
+	// before traffic flows.
+	EjectFn func(node int, p *Packet, now int64)
+
+	// InFlight is the number of packets currently inside the network.
+	InFlight int
+
+	// TotalHops and DeliveredPackets accumulate across the run.
+	TotalHops        int64
+	DeliveredPackets int64
+}
+
+// NewMesh builds a w-by-h mesh with the given router pipeline depth and
+// virtual-channel count, registers every router with the kernel, and wires
+// the policy in.
+func NewMesh(k *sim.Kernel, w, h int, pipeline int64, vcCount int, policy Policy) *Mesh {
+	if w <= 0 || h <= 0 || pipeline < 1 || vcCount < 1 {
+		panic("network: invalid mesh shape")
+	}
+	m := &Mesh{W: w, H: h, Pipeline: pipeline, VCCount: vcCount, Policy: policy, kernel: k}
+	for i := 0; i < w*h; i++ {
+		r := &Router{NodeID: i, mesh: m}
+		for p := 0; p < numInPorts; p++ {
+			r.in[p] = make([]fifoQueue, vcCount)
+		}
+		m.Routers = append(m.Routers, r)
+		k.Register(r)
+	}
+	return m
+}
+
+// Nodes returns the number of routers in the mesh.
+func (m *Mesh) Nodes() int { return m.W * m.H }
+
+// NextID allocates a fresh packet id.
+func (m *Mesh) NextID() uint64 {
+	m.nextID++
+	return m.nextID
+}
+
+// Inject places a packet into node's router through the local injection
+// port. The packet becomes routable after the router pipeline.
+func (m *Mesh) Inject(node int, p *Packet, now int64) {
+	r := m.Routers[node]
+	p.ArrivalDir = Local
+	p.InjectedAt = now
+	p.routed = false
+	p.stallStart = 0
+	m.InFlight++
+	r.in[Local][int(p.Class)%m.VCCount].push(fifoEntry{pkt: p, readyAt: now + m.Pipeline + r.ExtraHopDelay})
+}
+
+// spawn places a protocol-generated packet into node's generation port.
+// Expedited packets are ready immediately (their routing work happened in
+// the pipeline pass that spawned them); others pay the router pipeline.
+func (m *Mesh) spawn(node int, p *Packet, now int64) {
+	r := m.Routers[node]
+	p.ArrivalDir = Local
+	if p.InjectedAt == 0 {
+		p.InjectedAt = now
+	}
+	p.routed = false
+	p.stallStart = 0
+	m.InFlight++
+	delay := m.Pipeline + r.ExtraHopDelay
+	if p.Expedited {
+		delay = 0
+	}
+	r.in[portGen][int(p.Class)%m.VCCount].push(fifoEntry{pkt: p, readyAt: now + delay})
+}
+
+// Spawn is the exported form of spawn for protocol engines that generate
+// packets outside a Route call (e.g. releasing a queued request).
+func (m *Mesh) Spawn(node int, p *Packet, now int64) { m.spawn(node, p, now) }
+
+// Tick advances one router by one cycle: consult the policy for newly ready
+// packets, then arbitrate each output port.
+func (r *Router) Tick(now int64) {
+	m := r.mesh
+	// Phase 1: routing decisions for FIFO heads that cleared the pipeline.
+	for port := 0; port < numInPorts; port++ {
+		for vc := 0; vc < m.VCCount; vc++ {
+			h := r.in[port][vc].head()
+			if h == nil || h.readyAt > now || h.pkt.routed {
+				continue
+			}
+			p := h.pkt
+			st := m.Policy.Route(r, p, now)
+			for _, sp := range st.Spawn {
+				m.spawn(r.NodeID, sp, now)
+			}
+			switch {
+			case st.Consume:
+				r.in[port][vc].pop()
+				m.InFlight--
+				m.DeliveredPackets++
+				m.TotalHops += int64(p.Hops)
+			case st.Stall:
+				if p.stallStart == 0 {
+					p.stallStart = now
+				}
+			default:
+				if st.Out >= numOutPorts {
+					panic(fmt.Sprintf("network: policy steered packet %d to invalid port %v", p.ID, st.Out))
+				}
+				p.routed = true
+				p.outPort = st.Out
+				p.stallStart = 0
+				m.routeSeq++
+				p.routeSeq = m.routeSeq
+			}
+		}
+	}
+	// Phase 2: output arbitration, one grant per output port per cycle.
+	// Arbitration is age-based (oldest routing decision wins): a message
+	// spawned by the protocol in reaction to a routed packet (e.g. a
+	// teardown chasing the reply that just built a virtual link) can
+	// then never overtake that packet onto the link, which the
+	// in-network protocol's correctness argument requires.
+	for out := 0; out < numOutPorts; out++ {
+		if r.busyTill[out] > now {
+			continue
+		}
+		nSlots := numInPorts * m.VCCount
+		granted := -1
+		var bestSeq uint64
+		for slot := 0; slot < nSlots; slot++ {
+			port, vc := slot/m.VCCount, slot%m.VCCount
+			h := r.in[port][vc].head()
+			if h == nil || !h.pkt.routed || h.pkt.outPort != Dir(out) {
+				continue
+			}
+			if granted < 0 || h.pkt.routeSeq < bestSeq {
+				granted = slot
+				bestSeq = h.pkt.routeSeq
+			}
+		}
+		if granted < 0 {
+			continue
+		}
+		port, vc := granted/m.VCCount, granted%m.VCCount
+		e := r.in[port][vc].pop()
+		p := e.pkt
+		p.routed = false
+		r.busyTill[out] = now + int64(p.Flits)
+		if Dir(out) == Local {
+			m.kernel.Schedule(1, func() {
+				m.InFlight--
+				m.DeliveredPackets++
+				m.TotalHops += int64(p.Hops)
+				m.EjectFn(r.NodeID, p, m.kernelNow())
+			})
+			continue
+		}
+		nb, ok := NeighborOf(m.W, m.H, r.NodeID, Dir(out))
+		if !ok {
+			panic(fmt.Sprintf("network: packet %d routed off-mesh %v from node %d", p.ID, Dir(out), r.NodeID))
+		}
+		next := m.Routers[nb]
+		p.ArrivalDir = Dir(out).Opposite()
+		p.Hops++
+		next.in[p.ArrivalDir][vc].push(fifoEntry{pkt: p, readyAt: now + 1 + m.Pipeline + next.ExtraHopDelay})
+	}
+}
+
+func (m *Mesh) kernelNow() int64 { return m.kernel.Now() }
+
+// QueuedPackets returns the number of packets waiting in this router's
+// FIFOs, for drain checks and tests.
+func (r *Router) QueuedPackets() int {
+	n := 0
+	for port := 0; port < numInPorts; port++ {
+		for vc := range r.in[port] {
+			n += len(r.in[port][vc].q)
+		}
+	}
+	return n
+}

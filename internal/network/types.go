@@ -1,0 +1,223 @@
+// Package network implements the on-chip interconnect: a 2-dimensional mesh
+// of wormhole routers with configurable pipeline depth, per-port virtual
+// channel FIFOs, round-robin output arbitration and dimension-ordered (X-Y)
+// routing, following the canonical router organization the paper assumes
+// (Section 2.3, Figure 4).
+//
+// Packets are modeled at packet granularity with flit-accurate link
+// occupancy: a packet's head flit spends the router's pipeline depth in each
+// router and one cycle per link, and the packet holds its output link for as
+// many cycles as it has flits, so multi-flit data packets serialize and
+// contend exactly as wormhole flows do.
+//
+// Protocol logic is injected via the Policy interface, the package's
+// rendering of the paper's central idea: the in-network protocol supplies a
+// Policy whose routing decision consults the router's virtual tree cache and
+// may consume packets, spawn new ones (teardowns, replies) or stall a packet
+// in place; the baseline protocol supplies a plain X-Y destination-routing
+// Policy.
+package network
+
+import "fmt"
+
+// Dir identifies a router port. The four mesh directions double as virtual
+// tree link identifiers in the in-network protocol's tree cache lines.
+type Dir uint8
+
+// Port directions. Local is the node's injection/ejection port.
+const (
+	North Dir = iota
+	South
+	East
+	West
+	Local
+	DirNone // sentinel: no direction
+)
+
+// NumMeshDirs is the number of inter-router directions (N, S, E, W).
+const NumMeshDirs = 4
+
+func (d Dir) String() string {
+	switch d {
+	case North:
+		return "N"
+	case South:
+		return "S"
+	case East:
+		return "E"
+	case West:
+		return "W"
+	case Local:
+		return "L"
+	case DirNone:
+		return "-"
+	}
+	return fmt.Sprintf("Dir(%d)", uint8(d))
+}
+
+// Opposite returns the port a packet sent out d arrives on at the neighbor.
+func (d Dir) Opposite() Dir {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return DirNone
+}
+
+// VC is a virtual-channel class. The mesh is built with a configurable
+// number of classes; the coherence protocols in this repository use a single
+// class for all message types because the in-network protocol depends on
+// same-path FIFO ordering between replies and the teardowns that chase them
+// (Section 2.4's "the teardown message will simply propagate out the new
+// link as if it had been a part of the tree from the start" relies on a
+// teardown never overtaking the reply that built the link).
+type VC uint8
+
+// Packet is one network packet. Payload carries the protocol message and is
+// opaque to the network layer.
+type Packet struct {
+	ID      uint64
+	Src     int // injecting node
+	Dst     int // destination node for destination-routed packets
+	Class   VC
+	Flits   int
+	Payload interface{}
+
+	// ArrivalDir is the port this packet entered the current router on:
+	// Local for freshly injected or protocol-spawned packets. The
+	// in-network protocol uses it to orient new virtual tree links.
+	ArrivalDir Dir
+
+	// Expedited marks protocol-spawned continuation packets (teardowns
+	// and acks percolating along tree links) whose routing work was
+	// already performed by the pipeline stage that spawned them: they
+	// enter arbitration immediately instead of re-paying the router
+	// pipeline.
+	Expedited bool
+
+	// Hops counts link traversals, for the hop-count studies.
+	Hops int
+	// InjectedAt is the cycle the packet first entered a router.
+	InjectedAt int64
+
+	// routed caches the policy decision so Route runs once per hop
+	// unless the policy stalls the packet. routeSeq is the global age
+	// stamp used by oldest-first output arbitration.
+	routed   bool
+	outPort  Dir
+	routeSeq uint64
+	// stallStart is the cycle the packet first stalled at this router,
+	// for the protocol's timeout-based deadlock recovery.
+	stallStart int64
+}
+
+// StallCycles returns how long the packet has been stalled at the current
+// router, or 0 if it is not stalled.
+func (p *Packet) StallCycles(now int64) int64 {
+	if p.stallStart == 0 {
+		return 0
+	}
+	return now - p.stallStart
+}
+
+// Steer is a Policy's routing decision for one packet at one router.
+type Steer struct {
+	// Out is the output port to request. Local ejects the packet to the
+	// node's network interface. Ignored if Consume or Stall is set.
+	Out Dir
+	// Consume removes the packet from the network without ejecting it
+	// through the local port; protocol engines use this for messages
+	// they absorb in-network (e.g. acknowledgments terminating at the
+	// home node, or requests queued at the home router).
+	Consume bool
+	// Stall leaves the packet at the head of its input FIFO; the policy
+	// is consulted again next cycle. Packets behind it in the same FIFO
+	// are blocked (head-of-line), which is what the paper's timeout
+	// mechanism exists to bound.
+	Stall bool
+	// Spawn lists packets the protocol generates at this router (e.g.
+	// teardowns). They enter the router's generation queue and arbitrate
+	// for outputs like any other traffic.
+	Spawn []*Packet
+}
+
+// Policy decides, for each packet reaching the end of a router's pipeline,
+// where it goes next. Implementations hold all protocol state (tree caches,
+// home-node queues). Route is called when the packet first becomes ready
+// and, if it stalls, once per cycle thereafter.
+type Policy interface {
+	Route(r *Router, p *Packet, now int64) Steer
+}
+
+// XYTo returns the X-Y (dimension-ordered) next-hop direction from node
+// `from` toward node `to` on a w-wide mesh, or Local when from == to.
+// X-Y routing resolves the X offset first, then Y, and is deadlock-free on
+// a mesh.
+func XYTo(w int, from, to int) Dir {
+	fx, fy := from%w, from/w
+	tx, ty := to%w, to/w
+	switch {
+	case tx > fx:
+		return East
+	case tx < fx:
+		return West
+	case ty > fy:
+		return South
+	case ty < fy:
+		return North
+	}
+	return Local
+}
+
+// HopDist returns the Manhattan distance between two nodes on a w-wide mesh.
+func HopDist(w int, a, b int) int {
+	ax, ay := a%w, a/w
+	bx, by := b%w, b/w
+	dx := ax - bx
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := ay - by
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// StepToward returns the node one X-Y hop closer to `to` from `from`.
+func StepToward(w, h int, from, to int) int {
+	d := XYTo(w, from, to)
+	n, ok := NeighborOf(w, h, from, d)
+	if !ok {
+		return from
+	}
+	return n
+}
+
+// NeighborOf returns the node id adjacent to `node` in direction d on a
+// w-by-h mesh, and whether such a neighbor exists.
+func NeighborOf(w, h, node int, d Dir) (int, bool) {
+	x, y := node%w, node/w
+	switch d {
+	case North:
+		y--
+	case South:
+		y++
+	case East:
+		x++
+	case West:
+		x--
+	default:
+		return 0, false
+	}
+	if x < 0 || x >= w || y < 0 || y >= h {
+		return 0, false
+	}
+	return y*w + x, true
+}

@@ -1,0 +1,16 @@
+package network
+
+// XYPolicy routes every packet toward its destination with dimension-ordered
+// routing and ejects it there. It is the policy of the baseline directory
+// protocol, whose network is purely a communication medium, and of network
+// unit tests.
+type XYPolicy struct{}
+
+// Route implements Policy.
+func (XYPolicy) Route(r *Router, p *Packet, _ int64) Steer {
+	return Steer{Out: XYTo(r.mesh.W, r.NodeID, p.Dst)}
+}
+
+// Mesh returns the mesh a router belongs to, for policies that need
+// topology information.
+func (r *Router) Mesh() *Mesh { return r.mesh }

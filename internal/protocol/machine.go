@@ -1,0 +1,369 @@
+package protocol
+
+import (
+	"fmt"
+	"os"
+
+	"innetcc/internal/cache"
+	"innetcc/internal/memory"
+	"innetcc/internal/network"
+	"innetcc/internal/sim"
+	"innetcc/internal/stats"
+	"innetcc/internal/trace"
+	"innetcc/internal/verify"
+)
+
+// DState is a data cache line's MSI state. Invalid lines are simply absent
+// from the cache, so only Shared and Modified are represented, matching the
+// paper's observation that the data-cache state machine is unchanged by the
+// in-network implementation.
+type DState uint8
+
+// Data cache line states.
+const (
+	Shared DState = iota
+	Modified
+)
+
+func (s DState) String() string {
+	if s == Modified {
+		return "M"
+	}
+	return "S"
+}
+
+// DataLine is the payload of an L2 data cache line.
+type DataLine struct {
+	State   DState
+	Version uint64
+}
+
+// Engine is a coherence protocol implementation: the baseline directory
+// protocol or the in-network tree protocol.
+type Engine interface {
+	// StartMiss begins coherence handling for an access that could not
+	// be satisfied by the node's local L2 (a miss, or a write to a
+	// Shared line).
+	StartMiss(node int, addr uint64, write bool, now int64)
+	// Eject receives packets leaving the network at a node's network
+	// interface.
+	Eject(node int, p *network.Packet, now int64)
+	// OnL2Evict is notified when the machine evicts an L2 line to make
+	// room, so the protocol can clean up its metadata.
+	OnL2Evict(node int, addr uint64, line DataLine, now int64)
+	// Quiesced reports whether the engine holds no queued or deferred
+	// work.
+	Quiesced() bool
+}
+
+// Node is one processor tile: a trace-driven CPU and its L2 data cache.
+type Node struct {
+	ID int
+	L2 *cache.Cache[DataLine]
+
+	stream      []trace.Access
+	idx         int
+	outstanding bool
+	issueAt     int64
+	nextIssue   int64
+	rng         *sim.RNG
+}
+
+// Done reports whether the node has issued and completed its whole stream.
+func (n *Node) Done() bool { return n.idx >= len(n.stream) && !n.outstanding }
+
+// Pending returns the access the node is currently blocked on.
+func (n *Node) Pending() (trace.Access, bool) {
+	if !n.outstanding || n.idx >= len(n.stream) {
+		return trace.Access{}, false
+	}
+	return n.stream[n.idx], true
+}
+
+// Machine is the simulated chip multiprocessor: kernel, memory, verifier,
+// nodes and the statistics the evaluation reports. The coherence engine is
+// attached after construction (it builds the mesh with its own routing
+// policy and pipeline depth).
+type Machine struct {
+	Cfg    Config
+	Kernel *sim.Kernel
+	Mem    *memory.Memory
+	Check  *verify.Checker
+	Nodes  []*Node
+	Mesh   *network.Mesh
+
+	Lat        stats.LatencyStats
+	Counters   stats.Counters
+	HomeCounts []int64
+	LocalHits  int64
+
+	// ReadSamples/WriteSamples, when non-nil, retain every access
+	// latency for percentile reporting (attach with stats.Sampler).
+	ReadSamples  *stats.Sampler
+	WriteSamples *stats.Sampler
+
+	think   int64
+	engine  Engine
+	nicBusy []int64
+}
+
+// NewMachine builds a machine for the given configuration and trace. think
+// is the mean CPU idle time between accesses (from the benchmark profile).
+// The trace must have exactly cfg.Nodes() per-node streams.
+func NewMachine(cfg Config, tr *trace.Trace, think int64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tr.PerNode) != cfg.Nodes() {
+		return nil, fmt.Errorf("protocol: trace has %d streams for %d nodes", len(tr.PerNode), cfg.Nodes())
+	}
+	if think < 1 {
+		think = 1
+	}
+	k := sim.NewKernel(cfg.Seed)
+	m := &Machine{
+		Cfg:        cfg,
+		Kernel:     k,
+		Mem:        memory.New(cfg.MemLatency),
+		Check:      verify.New(false),
+		HomeCounts: make([]int64, cfg.Nodes()),
+		think:      think,
+		nicBusy:    make([]int64, cfg.Nodes()),
+	}
+	for i := 0; i < cfg.Nodes(); i++ {
+		m.Nodes = append(m.Nodes, &Node{
+			ID:     i,
+			L2:     cache.New[DataLine](cfg.L2Entries, cfg.L2Ways),
+			stream: tr.PerNode[i],
+			rng:    k.RNG().Split(),
+		})
+	}
+	k.Register(m)
+	return m, nil
+}
+
+// AttachEngine wires the coherence engine and its mesh into the machine.
+// Engines call this from their constructors.
+func (m *Machine) AttachEngine(e Engine, mesh *network.Mesh) {
+	m.engine = e
+	m.Mesh = mesh
+	mesh.EjectFn = e.Eject
+}
+
+// Engine returns the attached coherence engine.
+func (m *Machine) Engine() Engine { return m.engine }
+
+// Tick implements sim.Ticker: each cycle every idle CPU considers issuing
+// its next access.
+func (m *Machine) Tick(now int64) {
+	for _, n := range m.Nodes {
+		if n.outstanding || n.idx >= len(n.stream) || now < n.nextIssue {
+			continue
+		}
+		acc := n.stream[n.idx]
+		if line, ok := n.L2.Lookup(acc.Addr); ok {
+			if !acc.Write {
+				// Local read hit.
+				m.Check.ObserveRead(acc.Addr, line.Version, n.ID, now, true)
+				m.LocalHits++
+				n.idx++
+				n.nextIssue = now + m.Cfg.L2Latency + m.thinkTime(n)
+				continue
+			}
+			if line.State == Modified {
+				// Local write hit: the node already owns the line.
+				line.Version = m.Check.CommitWrite(acc.Addr, n.ID, now)
+				m.LocalHits++
+				n.idx++
+				n.nextIssue = now + m.Cfg.L2Latency + m.thinkTime(n)
+				continue
+			}
+			// Write to a Shared line: upgrade required, falls
+			// through to the coherence engine.
+		}
+		n.outstanding = true
+		n.issueAt = now
+		m.HomeCounts[m.Cfg.Home(acc.Addr)]++
+		m.engine.StartMiss(n.ID, acc.Addr, acc.Write, now)
+	}
+}
+
+func (m *Machine) thinkTime(n *Node) int64 {
+	lo := m.think / 2
+	if lo < 1 {
+		lo = 1
+	}
+	return n.rng.Int64Range(lo, m.think+m.think/2)
+}
+
+// CompleteAccess is called by the engine when the reply for the node's
+// outstanding access reaches it. It records latency (and any
+// deadlock-recovery cycles) and lets the CPU proceed; Requirement 4 — a
+// node issues its next request only after the previous reply returns — is
+// enforced by this hand-off.
+func (m *Machine) CompleteAccess(node int, write bool, now, deadlockCycles int64) {
+	n := m.Nodes[node]
+	if !n.outstanding {
+		panic(fmt.Sprintf("protocol: completion for node %d with no outstanding access", node))
+	}
+	m.Lat.Record(write, now-n.issueAt)
+	if write && m.WriteSamples != nil {
+		m.WriteSamples.Add(float64(now - n.issueAt))
+	} else if !write && m.ReadSamples != nil {
+		m.ReadSamples.Add(float64(now - n.issueAt))
+	}
+	if deadlockCycles > 0 {
+		m.Lat.RecordDeadlock(write, deadlockCycles)
+	}
+	n.outstanding = false
+	n.idx++
+	n.nextIssue = now + m.thinkTime(n)
+}
+
+// NICSchedule runs fn after a service-time occupancy of node's network
+// interface: the cache controller at each NIC has one port, so directory
+// and data-cache accesses made on behalf of the protocol serialize. (The
+// in-network protocol's virtual tree caches are maximally ported inside the
+// routers — Section 3.1 — and so never pass through here; only its true
+// data-cache and memory work does.)
+func (m *Machine) NICSchedule(node int, service int64, fn func()) {
+	now := m.Kernel.Now()
+	start := now
+	if m.nicBusy[node] > start {
+		start = m.nicBusy[node]
+	}
+	m.nicBusy[node] = start + service
+	m.Kernel.Schedule(start+service-now, fn)
+}
+
+// OutstandingAddr returns the address and kind of node's in-flight access,
+// if any. Protocol engines use it to detect invalidation/reply races.
+func (m *Machine) OutstandingAddr(node int) (addr uint64, write bool, ok bool) {
+	acc, ok := m.Nodes[node].Pending()
+	return acc.Addr, acc.Write, ok
+}
+
+// InstallLine places a line into node's L2 in the given state, handling the
+// eviction of a victim (writeback of dirty data, engine notification) and
+// the verifier's copy registry.
+// DebugAddr enables stderr tracing of L2 install/invalidate events for one
+// line address, for protocol debugging in tests.
+var DebugAddr uint64
+
+func (m *Machine) InstallLine(node int, addr uint64, st DState, version uint64, now int64) {
+	if DebugAddr != 0 && addr == DebugAddr {
+		fmt.Fprintf(os.Stderr, "[%8d] install n%d addr %#x st=%v v=%d\n", now, node, addr, st, version)
+	}
+	n := m.Nodes[node]
+	lp, evAddr, evLine, evicted := n.L2.Insert(addr)
+	if evicted {
+		m.evictCleanup(node, evAddr, evLine, now)
+	}
+	lp.State = st
+	lp.Version = version
+	m.Check.RegisterCopy(addr, node)
+}
+
+func (m *Machine) evictCleanup(node int, addr uint64, line DataLine, now int64) {
+	if DebugAddr != 0 && addr == DebugAddr {
+		fmt.Fprintf(os.Stderr, "[%8d] evict n%d addr %#x st=%v\n", now, node, addr, line.State)
+	}
+	m.Check.UnregisterCopy(addr, node)
+	if line.State == Modified {
+		m.Mem.Writeback(addr, line.Version)
+	}
+	m.Counters.Inc("l2.evictions", 1)
+	// The engine callback is deferred one cycle: it can trigger protocol
+	// work that installs further lines (e.g. the tree protocol's victim
+	// caching after an instant teardown), and running that synchronously
+	// would re-enter InstallLine and invalidate its line pointer.
+	m.Kernel.Schedule(1, func() {
+		m.engine.OnL2Evict(node, addr, line, m.Kernel.Now())
+	})
+}
+
+// InvalidateLine removes addr from node's L2 (if present), writing dirty
+// data back, and returns the line it held.
+func (m *Machine) InvalidateLine(node int, addr uint64, now int64) (DataLine, bool) {
+	n := m.Nodes[node]
+	line, ok := n.L2.Invalidate(addr)
+	if DebugAddr != 0 && addr == DebugAddr {
+		fmt.Fprintf(os.Stderr, "[%8d] invalidate n%d addr %#x ok=%v\n", now, node, addr, ok)
+	}
+	if !ok {
+		return DataLine{}, false
+	}
+	m.Check.UnregisterCopy(addr, node)
+	if line.State == Modified {
+		m.Mem.Writeback(addr, line.Version)
+	}
+	return line, true
+}
+
+// PeekLine inspects node's L2 without LRU effects.
+func (m *Machine) PeekLine(node int, addr uint64) (*DataLine, bool) {
+	return m.Nodes[node].L2.Peek(addr)
+}
+
+// NewPacket builds a network packet for msg from src to dst, sizing it by
+// whether the message carries data.
+func (m *Machine) NewPacket(src, dst int, msg *Msg) *network.Packet {
+	flits := m.Cfg.CtrlFlits
+	if msg.Type.IsData() {
+		flits = m.Cfg.DataFlits
+	}
+	return &network.Packet{
+		ID:      m.Mesh.NextID(),
+		Src:     src,
+		Dst:     dst,
+		Flits:   flits,
+		Payload: msg,
+	}
+}
+
+// AllDone reports whether every CPU has drained its stream.
+func (m *Machine) AllDone() bool {
+	for _, n := range m.Nodes {
+		if !n.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiesced reports full-system quiescence: CPUs drained, network empty,
+// engine queues empty, no pending events.
+func (m *Machine) Quiesced() bool {
+	return m.AllDone() && m.Mesh.InFlight == 0 && m.engine.Quiesced() && m.Kernel.Pending() == 0
+}
+
+// Run executes the simulation until quiescence or maxCycles, returning an
+// error describing stuck state on timeout. It also reports any verification
+// violations as an error.
+func (m *Machine) Run(maxCycles int64) error {
+	if m.engine == nil {
+		return fmt.Errorf("protocol: no engine attached")
+	}
+	if !m.Kernel.RunUntil(m.Quiesced, maxCycles) {
+		return fmt.Errorf("protocol: stuck after %d cycles: %s", m.Kernel.Now(), m.stuckReport())
+	}
+	if v := m.Check.Violations(); len(v) > 0 {
+		return fmt.Errorf("protocol: %d verification violations, first: %s", len(v), v[0])
+	}
+	return nil
+}
+
+func (m *Machine) stuckReport() string {
+	waiting := 0
+	var sample string
+	for _, n := range m.Nodes {
+		if !n.Done() {
+			waiting++
+			if acc, ok := n.Pending(); ok && sample == "" {
+				sample = fmt.Sprintf("node %d blocked on addr %#x write=%v", n.ID, acc.Addr, acc.Write)
+			}
+		}
+	}
+	return fmt.Sprintf("%d nodes unfinished, %d packets in flight, engine quiesced=%v, %d events pending; %s",
+		waiting, m.Mesh.InFlight, m.engine.Quiesced(), m.Kernel.Pending(), sample)
+}

@@ -1,0 +1,55 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xorshift64* variant). The simulator cannot use math/rand's global source
+// because experiment reproducibility requires every random draw to be a pure
+// function of the experiment seed.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int64Range returns a pseudo-random int64 in [lo, hi]. It panics if hi < lo.
+func (r *RNG) Int64Range(lo, hi int64) int64 {
+	if hi < lo {
+		panic("sim: Int64Range with hi < lo")
+	}
+	return lo + int64(r.Uint64()%uint64(hi-lo+1))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split derives an independent generator from this one, used to give each
+// node its own stream without coupling draw order across nodes.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() | 1)
+}

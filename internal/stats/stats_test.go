@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 {
+		t.Fatal("empty accumulator mean should be 0")
+	}
+	a.Add(10)
+	a.Add(20)
+	a.Add(30)
+	if a.N != 3 || a.Sum != 60 {
+		t.Fatalf("N=%d Sum=%v, want 3/60", a.N, a.Sum)
+	}
+	if a.Mean() != 20 {
+		t.Fatalf("Mean=%v, want 20", a.Mean())
+	}
+	if a.MinV != 10 || a.MaxV != 30 {
+		t.Fatalf("min/max %v/%v, want 10/30", a.MinV, a.MaxV)
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	var a, b Accumulator
+	a.Add(1)
+	a.Add(5)
+	b.Add(10)
+	a.Merge(&b)
+	if a.N != 3 || a.MaxV != 10 || a.MinV != 1 {
+		t.Fatalf("merged accumulator %+v wrong", a)
+	}
+	var empty Accumulator
+	a.Merge(&empty)
+	if a.N != 3 {
+		t.Fatal("merging empty changed count")
+	}
+	var c Accumulator
+	c.Merge(&a)
+	if c.N != 3 || c.Mean() != a.Mean() {
+		t.Fatal("merge into empty lost data")
+	}
+}
+
+func TestAccumulatorMergeMatchesSequentialAdds(t *testing.T) {
+	err := quick.Check(func(xs, ys []int16) bool {
+		var all, a, b Accumulator
+		for _, x := range xs {
+			all.Add(float64(x))
+			a.Add(float64(x))
+		}
+		for _, y := range ys {
+			all.Add(float64(y))
+			b.Add(float64(y))
+		}
+		a.Merge(&b)
+		return a.N == all.N && a.Sum == all.Sum && a.MinV == all.MinV && a.MaxV == all.MaxV
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyStatsSplitsClasses(t *testing.T) {
+	var l LatencyStats
+	l.Record(false, 100)
+	l.Record(false, 200)
+	l.Record(true, 50)
+	if l.Read.N != 2 || l.Write.N != 1 {
+		t.Fatalf("read/write counts %d/%d, want 2/1", l.Read.N, l.Write.N)
+	}
+	if l.Read.Mean() != 150 || l.Write.Mean() != 50 {
+		t.Fatalf("means %v/%v", l.Read.Mean(), l.Write.Mean())
+	}
+}
+
+func TestDeadlockShare(t *testing.T) {
+	var l LatencyStats
+	l.Record(false, 1000)
+	l.RecordDeadlock(false, 2)
+	l.Record(true, 500)
+	l.RecordDeadlock(true, 5)
+	r, w := l.DeadlockShare()
+	if math.Abs(r-0.2) > 1e-9 {
+		t.Fatalf("read deadlock share %v, want 0.2", r)
+	}
+	if math.Abs(w-1.0) > 1e-9 {
+		t.Fatalf("write deadlock share %v, want 1.0", w)
+	}
+	var empty LatencyStats
+	r, w = empty.DeadlockShare()
+	if r != 0 || w != 0 {
+		t.Fatal("empty stats should report zero deadlock share")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(200, 100); got != 50 {
+		t.Fatalf("Reduction(200,100)=%v, want 50", got)
+	}
+	if got := Reduction(100, 150); got != -50 {
+		t.Fatalf("Reduction(100,150)=%v, want -50", got)
+	}
+	if got := Reduction(0, 10); got != 0 {
+		t.Fatalf("Reduction with zero base = %v, want 0", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	if c.Get("x") != 0 {
+		t.Fatal("unset counter should be 0")
+	}
+	c.Inc("teardowns", 3)
+	c.Inc("teardowns", 2)
+	c.Inc("acks", 1)
+	if c.Get("teardowns") != 5 || c.Get("acks") != 1 {
+		t.Fatalf("counter values wrong: %d %d", c.Get("teardowns"), c.Get("acks"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "acks" || names[1] != "teardowns" {
+		t.Fatalf("Names()=%v", names)
+	}
+}
+
+func TestRMSSkewUniformIsZero(t *testing.T) {
+	if s := RMSSkew([]int64{5, 5, 5, 5}); s != 0 {
+		t.Fatalf("uniform skew %v, want 0", s)
+	}
+}
+
+func TestRMSSkewExtreme(t *testing.T) {
+	// All mass in one of four buckets: deviations are 3/4 and three of
+	// -1/4; RMS = sqrt((9+1+1+1)/16/4) = sqrt(12/64).
+	want := math.Sqrt(12.0 / 64.0)
+	if s := RMSSkew([]int64{8, 0, 0, 0}); math.Abs(s-want) > 1e-12 {
+		t.Fatalf("skew %v, want %v", s, want)
+	}
+}
+
+func TestRMSSkewDegenerate(t *testing.T) {
+	if RMSSkew(nil) != 0 {
+		t.Fatal("nil counts should give 0")
+	}
+	if RMSSkew([]int64{0, 0}) != 0 {
+		t.Fatal("all-zero counts should give 0")
+	}
+}
+
+func TestRMSSkewMonotoneUnderConcentration(t *testing.T) {
+	// Moving mass into fewer buckets must not decrease skew.
+	a := RMSSkew([]int64{4, 4, 4, 4})
+	b := RMSSkew([]int64{8, 4, 2, 2})
+	c := RMSSkew([]int64{14, 1, 1, 0})
+	if !(a <= b && b <= c) {
+		t.Fatalf("skew not monotone: %v %v %v", a, b, c)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean([1 2 3]) should be 2")
+	}
+}
+
+func TestSamplerPercentiles(t *testing.T) {
+	var s Sampler
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty sampler percentile should be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != 100 {
+		t.Fatalf("N=%d", s.N())
+	}
+	cases := map[float64]float64{50: 50, 90: 90, 99: 99, 100: 100, 1: 1, 0: 1}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Fatalf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	// Adding after a query re-sorts correctly.
+	s.Add(0.5)
+	if got := s.Percentile(0); got != 0.5 {
+		t.Fatalf("min after re-add = %v", got)
+	}
+}
+
+func TestSamplerPercentileMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(xs []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var s Sampler
+		for _, x := range xs {
+			s.Add(float64(x))
+		}
+		return s.Percentile(25) <= s.Percentile(50) &&
+			s.Percentile(50) <= s.Percentile(75) &&
+			s.Percentile(75) <= s.Percentile(100)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

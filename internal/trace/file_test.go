@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	p, _ := ProfileByName("bar")
+	orig := Generate(p, 16, 120, 3)
+	var b strings.Builder
+	if err := orig.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || len(got.PerNode) != len(orig.PerNode) {
+		t.Fatalf("header mismatch: %q/%d", got.Name, len(got.PerNode))
+	}
+	for n := range orig.PerNode {
+		if len(got.PerNode[n]) != len(orig.PerNode[n]) {
+			t.Fatalf("node %d stream length %d, want %d", n, len(got.PerNode[n]), len(orig.PerNode[n]))
+		}
+		for i := range orig.PerNode[n] {
+			if got.PerNode[n][i] != orig.PerNode[n][i] {
+				t.Fatalf("node %d access %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestReadAcceptsCommentsAndBlankLines(t *testing.T) {
+	in := `
+# a hand-written trace
+trace demo 4
+
+0 R 10
+# interleaved comment
+1 W ff
+0 r 10
+3 w Abc
+`
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.PerNode[0]) != 2 || len(tr.PerNode[1]) != 1 || len(tr.PerNode[3]) != 1 {
+		t.Fatalf("stream lengths wrong: %d/%d/%d", len(tr.PerNode[0]), len(tr.PerNode[1]), len(tr.PerNode[3]))
+	}
+	if tr.PerNode[3][0].Addr != 0xabc || !tr.PerNode[3][0].Write {
+		t.Fatalf("parsed access wrong: %+v", tr.PerNode[3][0])
+	}
+}
+
+func TestReadRejectsMalformedInput(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"0 R 10\n",            // missing header
+		"trace x zero\n",      // bad node count
+		"trace x 2\n5 R 10\n", // node out of range
+		"trace x 2\n0 X 10\n", // bad op
+		"trace x 2\n0 R zz\n", // bad address
+		"trace x 2\n0 R\n",    // missing field
+		"trace x -1\n",        // negative nodes
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+// Property: any generated trace survives a write/read round trip bitwise.
+func TestRoundTripProperty(t *testing.T) {
+	benches := Benchmarks()
+	err := quick.Check(func(seed uint16, pick uint8) bool {
+		p := benches[int(pick)%len(benches)]
+		orig := Generate(p, 16, 40, uint64(seed))
+		var b strings.Builder
+		if err := orig.Write(&b); err != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		for n := range orig.PerNode {
+			if len(got.PerNode[n]) != len(orig.PerNode[n]) {
+				return false
+			}
+			for i := range orig.PerNode[n] {
+				if got.PerNode[n][i] != orig.PerNode[n][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package treecc
+
+import (
+	"testing"
+
+	"innetcc/internal/protocol"
+	"innetcc/internal/trace"
+)
+
+func TestDebugV4(t *testing.T) {
+	DebugAddr = 0x52c5
+	protocol.DebugAddr = 0x52c5
+	defer func() { DebugAddr = 0; protocol.DebugAddr = 0 }()
+	p, _ := trace.ProfileByName("fft")
+	tr := trace.Generate(p, 16, 500, 42)
+	cfg := protocol.DefaultConfig()
+	mt, _ := protocol.NewMachine(cfg, tr, p.Think)
+	New(mt)
+	err := mt.Run(3_000_000)
+	t.Log(err)
+}

@@ -1,0 +1,14 @@
+package treecc
+
+import "fmt"
+
+// DebugAddr, when non-zero, enables an event trace for one line address on
+// stdout; used for protocol debugging in tests.
+var DebugAddr uint64
+
+func (e *Engine) debugf(addr uint64, format string, args ...interface{}) {
+	if DebugAddr == 0 || addr != DebugAddr {
+		return
+	}
+	fmt.Printf("[%8d] %s\n", e.m.Kernel.Now(), fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,145 @@
+package treecc
+
+import (
+	"fmt"
+	"testing"
+
+	"innetcc/internal/network"
+	"innetcc/internal/protocol"
+)
+
+// checkTreeInvariants validates the structural health of all virtual trees
+// at quiescence:
+//
+//  1. no line is left Touched (every teardown ran to completion);
+//  2. links are symmetric: if node u has a virtual link toward v for an
+//     address, v has the matching link toward u;
+//  3. every address with any tree line has exactly one root, and every
+//     non-root line's RootDir link exists;
+//  4. following RootDir from any tree node reaches the root;
+//  5. the home node of the address is part of its tree;
+//  6. every valid data-cache copy is anchored: its node's tree line exists
+//     with LocalValid set, and LocalValid lines have the data.
+func checkTreeInvariants(t *testing.T, m *protocol.Machine, e *Engine) {
+	t.Helper()
+	w, h := m.Cfg.MeshW, m.Cfg.MeshH
+	nodes := m.Cfg.Nodes()
+
+	type key struct {
+		node int
+		addr uint64
+	}
+	lines := map[key]*TreeLine{}
+	addrs := map[uint64][]int{}
+	for n := 0; n < nodes; n++ {
+		n := n
+		e.Tree(n).ScanAll(func(addr uint64, v *TreeLine) bool {
+			lines[key{n, addr}] = v
+			addrs[addr] = append(addrs[addr], n)
+			return true
+		})
+	}
+
+	for k, v := range lines {
+		if v.Touched {
+			t.Errorf("node %d addr %#x: line left Touched at quiescence", k.node, k.addr)
+		}
+		for d := 0; d < network.NumMeshDirs; d++ {
+			if !v.Links[d] {
+				continue
+			}
+			nb, ok := network.NeighborOf(w, h, k.node, network.Dir(d))
+			if !ok {
+				t.Errorf("node %d addr %#x: link %v points off-mesh", k.node, k.addr, network.Dir(d))
+				continue
+			}
+			other, ok := lines[key{nb, k.addr}]
+			if !ok {
+				t.Errorf("node %d addr %#x: link %v dangles (no line at node %d)", k.node, k.addr, network.Dir(d), nb)
+				continue
+			}
+			if !other.Links[network.Dir(d).Opposite()] {
+				t.Errorf("addr %#x: asymmetric link %d->%d", k.addr, k.node, nb)
+			}
+		}
+		if !v.IsRoot {
+			if v.RootDir >= network.NumMeshDirs || !v.Links[v.RootDir] {
+				t.Errorf("node %d addr %#x: RootDir %v is not a live link", k.node, k.addr, v.RootDir)
+			}
+		}
+	}
+
+	for addr, members := range addrs {
+		roots := 0
+		for _, n := range members {
+			if lines[key{n, addr}].IsRoot {
+				roots++
+			}
+		}
+		if roots != 1 {
+			t.Errorf("addr %#x: %d roots among nodes %v", addr, roots, members)
+		}
+		homeIn := false
+		for _, n := range members {
+			if n == m.Cfg.Home(addr) {
+				homeIn = true
+			}
+		}
+		if !homeIn {
+			t.Errorf("addr %#x: home node %d not part of tree %v", addr, m.Cfg.Home(addr), members)
+		}
+		// Root reachability via RootDir pointers.
+		for _, n := range members {
+			cur, steps := n, 0
+			for !lines[key{cur, addr}].IsRoot {
+				d := lines[key{cur, addr}].RootDir
+				nb, ok := network.NeighborOf(w, h, cur, d)
+				if !ok {
+					t.Errorf("addr %#x: RootDir walk from %d fell off mesh", addr, n)
+					break
+				}
+				if _, present := lines[key{nb, addr}]; !present {
+					t.Errorf("addr %#x: RootDir walk from %d hit lineless node %d", addr, n, nb)
+					break
+				}
+				cur = nb
+				steps++
+				if steps > nodes {
+					t.Errorf("addr %#x: RootDir walk from %d cycles", addr, n)
+					break
+				}
+			}
+		}
+	}
+
+	// Data copies anchored: every L2 copy is either a tree member with
+	// LocalValid set, or a victim copy parked at the line's home node
+	// while no tree exists.
+	for k, v := range lines {
+		_, hasData := m.PeekLine(k.node, k.addr)
+		if v.LocalValid && !hasData {
+			t.Errorf("node %d addr %#x: LocalValid without data copy", k.node, k.addr)
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		n := n
+		m.Nodes[n].L2.ScanAll(func(addr uint64, _ *protocol.DataLine) bool {
+			if tl, ok := lines[key{n, addr}]; ok && tl.LocalValid {
+				return true
+			}
+			if n == m.Cfg.Home(addr) && len(addrs[addr]) == 0 {
+				return true // victim copy
+			}
+			tl, ok := lines[key{n, addr}]
+			t.Errorf("node %d addr %#x: data copy not anchored in a tree (line=%v)", n, addr, describe(tl, ok))
+			return false
+		})
+	}
+}
+
+func describe(tl *TreeLine, ok bool) string {
+	if !ok {
+		return "absent"
+	}
+	return fmt.Sprintf("%+v", *tl)
+}

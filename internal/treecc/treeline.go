@@ -1,0 +1,68 @@
+// Package treecc implements the paper's contribution: in-network cache
+// coherence. Coherence directories move out of the nodes and into the
+// routers as virtual trees, one per cached line, stored in per-router
+// virtual tree caches. Requests routed toward the home node are steered
+// in-transit toward nearby sharers; writes tear trees down in-transit; tree
+// construction, teardown, acknowledgment collapse, proactive eviction,
+// victim caching and timeout-based deadlock recovery all follow Section 2
+// of the paper (protocol kernel in Table 1, state machines in Figure 3).
+package treecc
+
+import "innetcc/internal/network"
+
+// TreeLine is one virtual tree cache entry, encoding exactly the fields of
+// the paper's Figure 4: four virtual-link bits (N, S, E, W), the direction
+// of the link leading to the root, a busy bit (home only, represented by
+// Touched at the home node), an outstanding-request bit and a bit recording
+// whether the local node holds valid data.
+type TreeLine struct {
+	// Links marks which physical links are virtual tree links.
+	Links [network.NumMeshDirs]bool
+
+	// RootDir is the link leading toward the root node; meaningless at
+	// the root itself (IsRoot set). The paper encodes this in two bits
+	// plus the implicit root case.
+	RootDir network.Dir
+	IsRoot  bool
+
+	// Touched marks a line whose tree is being torn down (the paper's
+	// third tree-cache state; the home node's touched line is its busy
+	// bit).
+	Touched bool
+
+	// LocalValid records that the local node's data cache holds a valid
+	// copy of the line.
+	LocalValid bool
+
+	// OutstandingReq mirrors the paper's outstanding-request bit; the
+	// requesting node sets it between request and reply.
+	OutstandingReq bool
+
+	// Gen is a monotonically increasing generation stamp assigned each
+	// time the line is (re)initialized for a tree; deferred
+	// above-network work (replica installs) validates against it so a
+	// line recycled by a newer tree is never written with stale data.
+	Gen uint64
+}
+
+// LinkCount returns the number of virtual links at this node.
+func (t *TreeLine) LinkCount() int {
+	n := 0
+	for _, b := range t.Links {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// OnlyLink returns the single remaining link direction; it must only be
+// called when LinkCount() == 1.
+func (t *TreeLine) OnlyLink() network.Dir {
+	for d, b := range t.Links {
+		if b {
+			return network.Dir(d)
+		}
+	}
+	return network.DirNone
+}
