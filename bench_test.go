@@ -7,6 +7,9 @@
 //
 // Benchmarks use reduced trace lengths so the full set completes in
 // minutes; the innetcc command runs the same experiments at full scale.
+// Every experiment dispatches its simulations through the internal/exec
+// worker pool (all cores); BenchmarkFigure5Serial pins one worker so the
+// pool's speedup is measurable as the ratio of the two Figure5 timings.
 package innetcc_bench
 
 import (
@@ -18,7 +21,9 @@ import (
 )
 
 func benchOpts() experiments.Options {
-	return experiments.Options{AccessesPerNode: 200, AccessesPerNode64: 60, Seed: 42}
+	// Jobs 0 = all cores; the per-job seed derivation keeps results
+	// identical to any other parallelism level.
+	return experiments.Options{AccessesPerNode: 200, AccessesPerNode64: 60, Seed: 42, Jobs: 0}
 }
 
 // BenchmarkHopCountStudy regenerates the Section 1 oracle hop-count
@@ -48,6 +53,24 @@ func BenchmarkFigure5(b *testing.B) {
 	var avg experiments.PairResult
 	for i := 0; i < b.N; i++ {
 		rs, err := experiments.Figure5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = rs[len(rs)-1]
+	}
+	b.ReportMetric(avg.ReadReduction(), "read-red-%")
+	b.ReportMetric(avg.WriteReduction(), "write-red-%")
+}
+
+// BenchmarkFigure5Serial runs Figure 5 with a single pool worker; compare
+// against BenchmarkFigure5 (all cores) to measure the orchestration
+// speedup. Both produce identical results.
+func BenchmarkFigure5Serial(b *testing.B) {
+	opt := benchOpts()
+	opt.Jobs = 1
+	var avg experiments.PairResult
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Figure5(opt)
 		if err != nil {
 			b.Fatal(err)
 		}

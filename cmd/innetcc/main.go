@@ -3,173 +3,231 @@
 // SPLASH-2-like traces, a cycle-driven mesh network-on-chip, the baseline
 // MSI directory protocol and the in-network virtual-tree protocol.
 //
+// Simulations are dispatched through the internal/exec orchestration pool:
+// -jobs sets the worker parallelism (output is byte-identical at any
+// setting) and -cache enables the on-disk result cache, making repeated
+// runs of unchanged experiments near-instant.
+//
 // Usage:
 //
+//	innetcc -list                     # enumerate experiments
 //	innetcc -exp all                  # every experiment
 //	innetcc -exp fig5                 # one experiment
 //	innetcc -exp fig9 -accesses 300   # heavier per-node load
+//	innetcc -exp all -jobs 8          # 8 simulation workers
+//	innetcc -exp all -cache .innetcc-cache
 //	innetcc -exp mcheck               # exhaustive model checking
-//
-// Experiments: hopcount, fig5, table3, fig6, fig7, fig8, fig9, table4,
-// fig10, fig11, ablations, storage, mcheck.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"innetcc/internal/experiments"
 	"innetcc/internal/mcheck"
 )
 
+// experiment is one registry entry: a runnable table/figure driver with the
+// one-line description -list prints.
+type experiment struct {
+	name string
+	desc string
+	run  func(w io.Writer, opt experiments.Options) error
+}
+
+// registry lists every experiment in the order -exp all runs them.
+var registry = []experiment{
+	{"hopcount", "Section 1 oracle hop-count characterization (ideal in-transit reductions)", runHopCount},
+	{"fig5", "Figure 5: read/write latency reduction, 16 nodes, Table 2 config", runFigure5},
+	{"table3", "Table 3: tree cache access time and area grid (Cacti-style model)", runTable3},
+	{"fig6", "Figure 6: tree cache capacity sweep, victim caching off", runFigure6},
+	{"fig7", "Figure 7: tree cache associativity sweep, victim caching off", runFigure7},
+	{"fig8", "Figure 8: L2 data cache size sweep, both protocols", runFigure8},
+	{"fig9", "Figure 9: 64-node (8x8 mesh) scalability comparison", runFigure9},
+	{"table4", "Table 4: deadlock detection/recovery latency share, DM tree cache", runTable4},
+	{"fig10", "Figure 10: in-network vs above-network tree implementation", runFigure10},
+	{"fig11", "Figure 11: router pipeline depth sweep", runFigure11},
+	{"ablations", "Design-decision ablations: victim caching, proactive eviction, replication", runAblations},
+	{"storage", "Section 3.6: per-node coherence storage scalability", runStorage},
+	{"mcheck", "Section 2.4: exhaustive model checking of the reduced protocol", runMCheck},
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, hopcount, fig5, table3, fig6, fig7, fig8, fig9, table4, fig10, fig11, ablations, storage, mcheck)")
+	exp := flag.String("exp", "all", "experiment to run (\"all\" or a name from -list)")
+	list := flag.Bool("list", false, "list all experiments with descriptions and exit")
 	accesses := flag.Int("accesses", 400, "trace accesses per node (16-node experiments)")
 	accesses64 := flag.Int("accesses64", 120, "trace accesses per node (64-node experiments)")
-	seed := flag.Uint64("seed", 42, "experiment seed")
+	seed := flag.Uint64("seed", 42, "experiment suite seed (per-job seeds derive from it)")
+	jobs := flag.Int("jobs", 0, "simulation worker parallelism (0 = all cores); results are identical at any setting")
+	cacheDir := flag.String("cache", "", "on-disk result cache directory (empty = caching off)")
 	flag.Parse()
 
+	if *list {
+		printList(os.Stdout)
+		return
+	}
 	opt := experiments.Options{
 		AccessesPerNode:   *accesses,
 		AccessesPerNode64: *accesses64,
 		Seed:              *seed,
+		Jobs:              *jobs,
+		CacheDir:          *cacheDir,
 	}
-	if err := run(*exp, opt); err != nil {
+	if err := run(os.Stdout, *exp, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "innetcc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opt experiments.Options) error {
-	w := os.Stdout
-	all := exp == "all"
-	ran := false
-	sep := func() { fmt.Fprintln(w) }
+func printList(w io.Writer) {
+	fmt.Fprintln(w, "experiments (run with -exp <name>, or -exp all):")
+	for _, e := range registry {
+		fmt.Fprintf(w, "  %-10s %s\n", e.name, e.desc)
+	}
+}
 
-	if all || exp == "hopcount" {
-		rs, err := experiments.HopCountStudy(opt)
-		if err != nil {
-			return err
+func run(w io.Writer, exp string, opt experiments.Options) error {
+	if exp == "all" {
+		for _, e := range registry {
+			if err := e.run(w, opt); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
 		}
-		experiments.PrintHopStudy(w, rs)
-		sep()
-		ran = true
+		return nil
 	}
-	if all || exp == "fig5" {
-		rs, err := experiments.Figure5(opt)
-		if err != nil {
-			return err
+	for _, e := range registry {
+		if e.name == exp {
+			if err := e.run(w, opt); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return nil
 		}
-		experiments.PrintPairs(w, "Figure 5 — latency reduction, 16 nodes (Table 2 config)", rs,
-			"(paper avg: reads -27.1%, writes -41.2%)")
-		sep()
-		ran = true
 	}
-	if all || exp == "table3" {
-		experiments.PrintTable3(w)
-		sep()
-		ran = true
+	printList(os.Stderr)
+	return fmt.Errorf("unknown experiment %q (see list above, or run innetcc -list)", exp)
+}
+
+func runHopCount(w io.Writer, opt experiments.Options) error {
+	rs, err := experiments.HopCountStudy(opt)
+	if err != nil {
+		return err
 	}
-	if all || exp == "fig6" {
-		pts, err := experiments.Figure6(opt)
-		if err != nil {
-			return err
-		}
-		experiments.PrintSweep(w, "Figure 6 — tree cache size sweep (normalized to 512K entries, victim caching off)", pts, "entries")
-		sep()
-		ran = true
+	experiments.PrintHopStudy(w, rs)
+	return nil
+}
+
+func runFigure5(w io.Writer, opt experiments.Options) error {
+	rs, err := experiments.Figure5(opt)
+	if err != nil {
+		return err
 	}
-	if all || exp == "fig7" {
-		pts, err := experiments.Figure7(opt)
-		if err != nil {
-			return err
-		}
-		experiments.PrintSweep(w, "Figure 7 — tree cache associativity sweep (normalized to 8-way, victim caching off)", pts, "ways")
-		sep()
-		ran = true
+	experiments.PrintPairs(w, "Figure 5 — latency reduction, 16 nodes (Table 2 config)", rs,
+		"(paper avg: reads -27.1%, writes -41.2%)")
+	return nil
+}
+
+func runTable3(w io.Writer, _ experiments.Options) error {
+	experiments.PrintTable3(w)
+	return nil
+}
+
+func runFigure6(w io.Writer, opt experiments.Options) error {
+	pts, err := experiments.Figure6(opt)
+	if err != nil {
+		return err
 	}
-	if all || exp == "fig8" {
-		pts, err := experiments.Figure8(opt)
-		if err != nil {
-			return err
-		}
-		experiments.PrintFigure8(w, pts)
-		sep()
-		ran = true
+	experiments.PrintSweep(w, "Figure 6 — tree cache size sweep (normalized to 512K entries, victim caching off)", pts, "entries")
+	return nil
+}
+
+func runFigure7(w io.Writer, opt experiments.Options) error {
+	pts, err := experiments.Figure7(opt)
+	if err != nil {
+		return err
 	}
-	if all || exp == "fig9" {
-		rs, err := experiments.Figure9(opt)
-		if err != nil {
-			return err
-		}
-		experiments.PrintPairs(w, "Figure 9 — latency reduction, 64 nodes (8x8 mesh)", rs,
-			"(paper avg: reads -35%, writes -48%)")
-		sep()
-		ran = true
+	experiments.PrintSweep(w, "Figure 7 — tree cache associativity sweep (normalized to 8-way, victim caching off)", pts, "ways")
+	return nil
+}
+
+func runFigure8(w io.Writer, opt experiments.Options) error {
+	pts, err := experiments.Figure8(opt)
+	if err != nil {
+		return err
 	}
-	if all || exp == "table4" {
-		rows, err := experiments.Table4(opt)
-		if err != nil {
-			return err
-		}
-		experiments.PrintTable4(w, rows)
-		sep()
-		ran = true
+	experiments.PrintFigure8(w, pts)
+	return nil
+}
+
+func runFigure9(w io.Writer, opt experiments.Options) error {
+	rs, err := experiments.Figure9(opt)
+	if err != nil {
+		return err
 	}
-	if all || exp == "fig10" {
-		rs, err := experiments.Figure10(opt)
-		if err != nil {
-			return err
-		}
-		experiments.PrintPairs(w, "Figure 10 — in-network vs above-network tree implementation", rs,
-			"(paper avg: reads -31%, writes -49.1%)")
-		sep()
-		ran = true
+	experiments.PrintPairs(w, "Figure 9 — latency reduction, 64 nodes (8x8 mesh)", rs,
+		"(paper avg: reads -35%, writes -48%)")
+	return nil
+}
+
+func runTable4(w io.Writer, opt experiments.Options) error {
+	rows, err := experiments.Table4(opt)
+	if err != nil {
+		return err
 	}
-	if all || exp == "fig11" {
-		pts, err := experiments.Figure11(opt)
-		if err != nil {
-			return err
-		}
-		experiments.PrintFigure11(w, pts)
-		sep()
-		ran = true
+	experiments.PrintTable4(w, rows)
+	return nil
+}
+
+func runFigure10(w io.Writer, opt experiments.Options) error {
+	rs, err := experiments.Figure10(opt)
+	if err != nil {
+		return err
 	}
-	if all || exp == "ablations" {
-		rows, err := experiments.Ablations(opt)
-		if err != nil {
-			return err
-		}
-		experiments.PrintAblations(w, rows)
-		sep()
-		ran = true
+	experiments.PrintPairs(w, "Figure 10 — in-network vs above-network tree implementation", rs,
+		"(paper avg: reads -31%, writes -49.1%)")
+	return nil
+}
+
+func runFigure11(w io.Writer, opt experiments.Options) error {
+	pts, err := experiments.Figure11(opt)
+	if err != nil {
+		return err
 	}
-	if all || exp == "storage" {
-		experiments.PrintStorage(w, experiments.StorageStudy())
-		sep()
-		ran = true
+	experiments.PrintFigure11(w, pts)
+	return nil
+}
+
+func runAblations(w io.Writer, opt experiments.Options) error {
+	rows, err := experiments.Ablations(opt)
+	if err != nil {
+		return err
 	}
-	if all || exp == "mcheck" {
-		home, ops := mcheck.DefaultProgram()
-		fmt.Fprintln(w, "Section 2.4 — exhaustive model checking of the reduced protocol")
-		res := mcheck.New(home, ops).Run()
-		fmt.Fprintf(w, "program: 2 concurrent reads + 2 concurrent writes, home=%d\n", home)
-		fmt.Fprintf(w, "%v\n", res)
-		for _, v := range res.Violations {
-			fmt.Fprintln(w, "VIOLATION:", v)
-		}
-		for _, d := range res.Deadlocks {
-			fmt.Fprintln(w, "DEADLOCK:", d)
-		}
-		if len(res.Violations)+len(res.Deadlocks) == 0 {
-			fmt.Fprintln(w, "result: coherent and sequentially consistent in every reachable state")
-		}
-		sep()
-		ran = true
+	experiments.PrintAblations(w, rows)
+	return nil
+}
+
+func runStorage(w io.Writer, _ experiments.Options) error {
+	experiments.PrintStorage(w, experiments.StorageStudy())
+	return nil
+}
+
+func runMCheck(w io.Writer, _ experiments.Options) error {
+	home, ops := mcheck.DefaultProgram()
+	fmt.Fprintln(w, "Section 2.4 — exhaustive model checking of the reduced protocol")
+	res := mcheck.New(home, ops).Run()
+	fmt.Fprintf(w, "program: 2 concurrent reads + 2 concurrent writes, home=%d\n", home)
+	fmt.Fprintf(w, "%v\n", res)
+	for _, v := range res.Violations {
+		fmt.Fprintln(w, "VIOLATION:", v)
 	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", exp)
+	for _, d := range res.Deadlocks {
+		fmt.Fprintln(w, "DEADLOCK:", d)
+	}
+	if len(res.Violations)+len(res.Deadlocks) == 0 {
+		fmt.Fprintln(w, "result: coherent and sequentially consistent in every reachable state")
 	}
 	return nil
 }

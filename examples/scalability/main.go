@@ -5,6 +5,9 @@
 // coherence storage comparison of Section 3.6 (full-map directory bits grow
 // with the node count; virtual tree bits do not).
 //
+// All sixteen simulations (4 benchmarks x 2 mesh sizes x 2 protocols) run
+// as one batch on the internal/exec worker pool.
+//
 //	go run ./examples/scalability
 package main
 
@@ -12,48 +15,44 @@ import (
 	"fmt"
 	"log"
 
-	"innetcc/internal/directory"
+	"innetcc/internal/exec"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
-	"innetcc/internal/treecc"
 )
-
-func run(cfg protocol.Config, p trace.Profile, accesses int) (baseW, treeW float64) {
-	tr := trace.Generate(p, cfg.Nodes(), accesses, 7)
-	base, err := protocol.NewMachine(cfg, tr, p.Think)
-	if err != nil {
-		log.Fatal(err)
-	}
-	directory.New(base)
-	if err := base.Run(100_000_000); err != nil {
-		log.Fatal(err)
-	}
-	tree, err := protocol.NewMachine(cfg, tr, p.Think)
-	if err != nil {
-		log.Fatal(err)
-	}
-	treecc.New(tree)
-	if err := tree.Run(100_000_000); err != nil {
-		log.Fatal(err)
-	}
-	return base.Lat.Write.Mean(), tree.Lat.Write.Mean()
-}
 
 func main() {
 	benches := []string{"fft", "bar", "wsp", "ocn"}
-	fmt.Printf("%-6s %16s %16s\n", "bench", "4x4 write-red", "8x8 write-red")
+	var jobs []exec.Job
 	for _, name := range benches {
 		p, err := trace.ProfileByName(name)
 		if err != nil {
 			log.Fatal(err)
 		}
 		cfg16 := protocol.DefaultConfig()
-		b16, t16 := run(cfg16, p, 400)
 		cfg64 := protocol.DefaultConfig()
 		cfg64.MeshW, cfg64.MeshH = 8, 8
-		b64, t64 := run(cfg64, p, 120)
-		fmt.Printf("%-6s %15.1f%% %15.1f%%\n", name,
-			100*(b16-t16)/b16, 100*(b64-t64)/b64)
+		for _, j := range []exec.Job{
+			{Key: name + "/16/dir", Proto: exec.ProtoDir, Config: cfg16, Profile: p, Accesses: 400, SuiteSeed: 7},
+			{Key: name + "/16/tree", Proto: exec.ProtoTree, Config: cfg16, Profile: p, Accesses: 400, SuiteSeed: 7},
+			{Key: name + "/64/dir", Proto: exec.ProtoDir, Config: cfg64, Profile: p, Accesses: 120, SuiteSeed: 7},
+			{Key: name + "/64/tree", Proto: exec.ProtoTree, Config: cfg64, Profile: p, Accesses: 120, SuiteSeed: 7},
+		} {
+			jobs = append(jobs, j)
+		}
+	}
+	rs := (&exec.Pool{}).Run(jobs)
+
+	fmt.Printf("%-6s %16s %16s\n", "bench", "4x4 write-red", "8x8 write-red")
+	for i, name := range benches {
+		b16, t16, b64, t64 := rs[4*i], rs[4*i+1], rs[4*i+2], rs[4*i+3]
+		if b16.Failed() || t16.Failed() || b64.Failed() || t64.Failed() {
+			fmt.Printf("%-6s FAILED\n", name)
+			continue
+		}
+		red := func(base, tree exec.Result) float64 {
+			return 100 * (base.Write.Mean() - tree.Write.Mean()) / base.Write.Mean()
+		}
+		fmt.Printf("%-6s %15.1f%% %15.1f%%\n", name, red(b16, t16), red(b64, t64))
 	}
 
 	// Storage scalability (Section 3.6): the in-network tree entry stays

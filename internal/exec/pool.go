@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"innetcc/internal/directory"
+	"innetcc/internal/protocol"
+	"innetcc/internal/stats"
+	"innetcc/internal/trace"
+	"innetcc/internal/treecc"
+)
+
+// Pool runs batches of jobs across worker goroutines. The zero value is
+// usable: all cores, no cache.
+type Pool struct {
+	// Workers is the parallelism level; <= 0 means GOMAXPROCS.
+	Workers int
+
+	// Cache, when non-nil, serves and stores results on disk keyed by
+	// Job.Hash.
+	Cache *Cache
+}
+
+// Run executes all jobs and returns their results in submission order.
+// Each job is isolated: a simulation error, an exceeded cycle bound, or a
+// panic fails only that job's Result (Err set), never the batch. Because
+// every job is a pure function of its spec and results are collected by
+// index, the returned slice — and anything printed from it in order — is
+// identical at every parallelism level.
+func (p *Pool) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			results[i] = p.runOne(j)
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = p.runOne(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job: cache lookup, simulation behind a panic
+// barrier, cache fill.
+func (p *Pool) runOne(job Job) (res Result) {
+	var hash string
+	if p.Cache != nil {
+		hash = job.Hash()
+		if r, ok := p.Cache.Get(hash); ok {
+			r.Key = job.Key
+			r.Cached = true
+			return r
+		}
+	}
+	res = simulate(job)
+	res.Key = job.Key
+	if p.Cache != nil {
+		p.Cache.Put(hash, res)
+	}
+	return res
+}
+
+// simulate runs the job's simulation to quiescence. Panics anywhere in the
+// protocol or network stack are recovered into the job's Result so one
+// diverging configuration cannot take down the batch.
+func simulate(job Job) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+
+	seed := job.Seed()
+	cfg := job.Config
+	cfg.Seed = seed
+	tr := trace.Generate(job.Profile, cfg.Nodes(), job.Accesses, seed)
+	m, err := protocol.NewMachine(cfg, tr, job.Profile.Think)
+	if err != nil {
+		return Result{Err: err.Error()}
+	}
+	m.ReadSamples = &stats.Sampler{}
+	m.WriteSamples = &stats.Sampler{}
+
+	var hops *HopAgg
+	switch job.Proto {
+	case ProtoDir:
+		e := directory.New(m)
+		if job.CollectHops {
+			hops = &HopAgg{}
+			e.HopRecorder = func(write bool, base, ideal int) {
+				if base == 0 {
+					return
+				}
+				if write {
+					hops.WriteBase += float64(base)
+					hops.WriteIdeal += float64(ideal)
+					hops.Writes++
+				} else {
+					hops.ReadBase += float64(base)
+					hops.ReadIdeal += float64(ideal)
+					hops.Reads++
+				}
+			}
+		}
+	case ProtoTree:
+		treecc.New(m)
+	default:
+		return Result{Err: fmt.Sprintf("exec: unknown protocol %q", job.Proto)}
+	}
+
+	if err := m.Run(job.maxCycles()); err != nil {
+		return Result{Err: fmt.Sprintf("%s %s: %v", job.Profile.Name, job.Proto, err)}
+	}
+
+	res = Result{
+		Cycles:        m.Kernel.Now(),
+		LocalHits:     m.LocalHits,
+		Read:          dist(&m.Lat.Read, m.ReadSamples),
+		Write:         dist(&m.Lat.Write, m.WriteSamples),
+		DeadlockRead:  dist(&m.Lat.DeadlockRead, nil),
+		DeadlockWrite: dist(&m.Lat.DeadlockWrite, nil),
+		Hops:          hops,
+	}
+	if names := m.Counters.Names(); len(names) > 0 {
+		res.Counters = make(map[string]int64, len(names))
+		for _, n := range names {
+			res.Counters[n] = m.Counters.Get(n)
+		}
+	}
+	return res
+}
+
+// dist folds an accumulator (and, when available, its sample set for
+// percentiles) into the serializable Dist form.
+func dist(a *stats.Accumulator, s *stats.Sampler) Dist {
+	d := Dist{N: a.N, Sum: a.Sum, Min: a.MinV, Max: a.MaxV}
+	if s != nil && s.N() > 0 {
+		d.P50 = s.Percentile(50)
+		d.P95 = s.Percentile(95)
+		d.P99 = s.Percentile(99)
+	}
+	return d
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"innetcc/internal/exec"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
 )
@@ -10,12 +11,16 @@ import (
 type AblationResult struct {
 	Name string
 	// Read/Write are the variant's mean latencies; BaseRead/BaseWrite
-	// the nominal protocol's.
+	// the nominal protocol's, averaged over the benchmarks where both
+	// runs succeeded.
 	BaseRead, BaseWrite float64
 	Read, Write         float64
 	// ReadDelta/WriteDelta are the percentage change of the variant
 	// versus nominal (positive = variant slower).
 	ReadDelta, WriteDelta float64
+	// Err marks a variant with no comparable benchmark pair (first
+	// failure reported).
+	Err string
 }
 
 // Ablations quantifies the design decisions DESIGN.md calls out by
@@ -40,38 +45,62 @@ func Ablations(opt Options) ([]AblationResult, error) {
 	}
 	pressured := func() protocol.Config {
 		cfg := protocol.DefaultConfig()
-		cfg.Seed = opt.Seed
 		cfg.TreeEntries, cfg.TreeWays = 512, 2
 		return cfg
 	}
-	// Nominal reference, averaged over all benchmarks.
-	var nomR, nomW float64
-	for _, p := range trace.Benchmarks() {
-		cfg := pressured()
-		m, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		nomR += m.Lat.Read.Mean()
-		nomW += m.Lat.Write.Mean()
-	}
-	n := float64(len(trace.Benchmarks()))
-	nomR /= n
-	nomW /= n
+	benches := trace.Benchmarks()
 
-	var out []AblationResult
+	// One batch: the nominal reference runs first, then each variant.
+	var jobs []exec.Job
+	for _, p := range benches {
+		jobs = append(jobs, treeJob("ablation/nominal/"+p.Name, pressured(), p, opt.AccessesPerNode, opt))
+	}
 	for _, v := range variants {
-		var r, w float64
-		for _, p := range trace.Benchmarks() {
+		for _, p := range benches {
 			cfg := pressured()
 			v.mod(&cfg)
-			m, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			r += m.Lat.Read.Mean()
-			w += m.Lat.Write.Mean()
+			jobs = append(jobs, treeJob("ablation/"+v.name+"/"+p.Name, cfg, p, opt.AccessesPerNode, opt))
 		}
+	}
+	rs, err := runJobs(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	nominal := rs[:len(benches)]
+
+	var out []AblationResult
+	for vi, v := range variants {
+		varRes := rs[(vi+1)*len(benches) : (vi+2)*len(benches)]
+		// Average over the benchmarks where both the nominal and the
+		// variant run succeeded, so the comparison stays paired.
+		var nomR, nomW, r, w float64
+		n := 0.0
+		firstErr := ""
+		for bi := range benches {
+			switch {
+			case nominal[bi].Failed():
+				if firstErr == "" {
+					firstErr = nominal[bi].Err
+				}
+				continue
+			case varRes[bi].Failed():
+				if firstErr == "" {
+					firstErr = varRes[bi].Err
+				}
+				continue
+			}
+			nomR += nominal[bi].Read.Mean()
+			nomW += nominal[bi].Write.Mean()
+			r += varRes[bi].Read.Mean()
+			w += varRes[bi].Write.Mean()
+			n++
+		}
+		if n == 0 {
+			out = append(out, AblationResult{Name: v.name, Err: firstErr})
+			continue
+		}
+		nomR /= n
+		nomW /= n
 		r /= n
 		w /= n
 		out = append(out, AblationResult{

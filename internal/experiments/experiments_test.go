@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -221,6 +222,83 @@ func TestPrintersProduceOutput(t *testing.T) {
 	PrintStorage(&b, StorageStudy())
 	if !strings.Contains(b.String(), "Table 3") || !strings.Contains(b.String(), "3.6") {
 		t.Fatal("printers missing headings")
+	}
+}
+
+// Figure 5 must produce identical rows at every pool parallelism: seeds
+// derive from the suite seed and results collect in submission order.
+func TestFigure5ParallelMatchesSerial(t *testing.T) {
+	opt := Options{AccessesPerNode: 100, AccessesPerNode64: 40, Seed: 42}
+	opt.Jobs = 1
+	serial, err := Figure5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Jobs = 4
+	parallel, err := Figure5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Figure 5 diverged from serial:\n serial: %+v\n parallel: %+v", serial, parallel)
+	}
+}
+
+// A cached re-run must reproduce the uncached rows exactly.
+func TestHopCountStudyCacheRoundTrip(t *testing.T) {
+	opt := Options{AccessesPerNode: 100, AccessesPerNode64: 40, Seed: 42, CacheDir: t.TempDir()}
+	cold, err := HopCountStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := HopCountStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cached rows diverged:\n cold: %+v\n warm: %+v", cold, warm)
+	}
+}
+
+func TestUnusableCacheDirIsAnError(t *testing.T) {
+	opt := smallOpts()
+	opt.CacheDir = "/dev/null/not-a-dir"
+	if _, err := HopCountStudy(opt); err == nil {
+		t.Fatal("unusable cache dir accepted")
+	}
+}
+
+// A failed simulation fails only its row: the average skips it and the
+// printers render the error in place of numbers.
+func TestFailedRowsAreIsolatedInAveragesAndPrinters(t *testing.T) {
+	rows := []PairResult{
+		{Bench: "fft", BaseRead: 100, BaseWrite: 100, TreeRead: 50, TreeWrite: 50},
+		{Bench: "bar", Err: "tree: stuck after 10 cycles"},
+		{Bench: "wsp", BaseRead: 200, BaseWrite: 200, TreeRead: 100, TreeWrite: 100},
+	}
+	avg := averagePair(rows)
+	if avg.BaseRead != 150 || avg.TreeRead != 75 {
+		t.Errorf("average did not skip the failed row: %+v", avg)
+	}
+	var b strings.Builder
+	PrintPairs(&b, "t", append(rows, avg), "")
+	out := b.String()
+	if !strings.Contains(out, "bar    FAILED: tree: stuck after 10 cycles") {
+		t.Errorf("failed row not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "avg") || strings.Count(out, "FAILED") != 1 {
+		t.Errorf("healthy rows disturbed:\n%s", out)
+	}
+
+	b.Reset()
+	PrintSweep(&b, "t", []SweepPoint{{Bench: "fft", Value: 512, Err: "boom"}}, "entries")
+	if !strings.Contains(b.String(), "FAILED: boom") {
+		t.Errorf("sweep failure not rendered: %s", b.String())
+	}
+	b.Reset()
+	PrintTable4(&b, []Table4Row{{Bench: "fft", Err: "boom"}, {Bench: "lu", ReadPct: 1, WritePct: 1}})
+	if !strings.Contains(b.String(), "FAILED: boom") || !strings.Contains(b.String(), "avg") {
+		t.Errorf("table4 failure handling wrong: %s", b.String())
 	}
 }
 

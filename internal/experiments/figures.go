@@ -1,7 +1,9 @@
 package experiments
 
 import (
-	"innetcc/internal/directory"
+	"fmt"
+
+	"innetcc/internal/exec"
 	"innetcc/internal/protocol"
 	"innetcc/internal/stats"
 	"innetcc/internal/trace"
@@ -18,6 +20,7 @@ type HopResult struct {
 	WritePct  float64
 	ReadBase  float64 // mean baseline hops, for reference
 	WriteBase float64
+	Err       string
 }
 
 // HopCountStudy reproduces the Section 1 characterization: for every
@@ -26,43 +29,34 @@ type HopResult struct {
 // writes). Paper: reads up to 35.8% (19.7% average), writes up to 32.4%
 // (17.3% average).
 func HopCountStudy(opt Options) ([]HopResult, error) {
+	benches := trace.Benchmarks()
+	var jobs []exec.Job
+	for _, p := range benches {
+		j := dirJob("hopcount/"+p.Name, protocol.DefaultConfig(), p, opt.AccessesPerNode, opt)
+		j.CollectHops = true
+		jobs = append(jobs, j)
+	}
+	rs, err := runJobs(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
 	var out []HopResult
-	for _, p := range trace.Benchmarks() {
-		cfg := protocol.DefaultConfig()
-		cfg.Seed = opt.Seed
-		tr := trace.Generate(p, cfg.Nodes(), opt.AccessesPerNode, opt.Seed)
-		m, err := protocol.NewMachine(cfg, tr, p.Think)
-		if err != nil {
-			return nil, err
-		}
-		e := directory.New(m)
-		var rBase, rIdeal, wBase, wIdeal float64
-		var rN, wN int
-		e.HopRecorder = func(write bool, base, ideal int) {
-			if base == 0 {
-				return
-			}
-			if write {
-				wBase += float64(base)
-				wIdeal += float64(ideal)
-				wN++
-			} else {
-				rBase += float64(base)
-				rIdeal += float64(ideal)
-				rN++
-			}
-		}
-		if err := m.Run(maxCycles); err != nil {
-			return nil, err
-		}
+	for i, p := range benches {
 		hr := HopResult{Bench: p.Name}
-		if rN > 0 {
-			hr.ReadPct = 100 * (rBase - rIdeal) / rBase
-			hr.ReadBase = rBase / float64(rN)
+		r := rs[i]
+		if r.Failed() || r.Hops == nil {
+			hr.Err = r.Err
+			out = append(out, hr)
+			continue
 		}
-		if wN > 0 {
-			hr.WritePct = 100 * (wBase - wIdeal) / wBase
-			hr.WriteBase = wBase / float64(wN)
+		h := r.Hops
+		if h.Reads > 0 {
+			hr.ReadPct = 100 * (h.ReadBase - h.ReadIdeal) / h.ReadBase
+			hr.ReadBase = h.ReadBase / float64(h.Reads)
+		}
+		if h.Writes > 0 {
+			hr.WritePct = 100 * (h.WriteBase - h.WriteIdeal) / h.WriteBase
+			hr.WriteBase = h.WriteBase / float64(h.Writes)
 		}
 		out = append(out, hr)
 	}
@@ -78,15 +72,21 @@ func HopCountStudy(opt Options) ([]HopResult, error) {
 // write reduction exceeds read reduction for all but one benchmark; lu and
 // rad show the least read savings.
 func Figure5(opt Options) ([]PairResult, error) {
-	var out []PairResult
-	for _, p := range trace.Benchmarks() {
+	benches := trace.Benchmarks()
+	var jobs []exec.Job
+	for _, p := range benches {
 		cfg := protocol.DefaultConfig()
-		cfg.Seed = opt.Seed
-		r, err := runPair(cfg, p, opt.AccessesPerNode, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		jobs = append(jobs,
+			dirJob("fig5/"+p.Name+"/dir", cfg, p, opt.AccessesPerNode, opt),
+			treeJob("fig5/"+p.Name+"/tree", cfg, p, opt.AccessesPerNode, opt))
+	}
+	rs, err := runJobs(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []PairResult
+	for i, p := range benches {
+		out = append(out, pairFrom(p.Name, rs[2*i], rs[2*i+1]))
 	}
 	out = append(out, averagePair(out))
 	return out, nil
@@ -101,6 +101,7 @@ type SweepPoint struct {
 	Value int // swept parameter (entries, ways, L2 entries, pipeline)
 	Read  float64
 	Write float64
+	Err   string
 }
 
 // Figure6Sizes is the swept tree-cache capacity grid; 512K entries is the
@@ -112,28 +113,10 @@ var Figure6Sizes = []int{512 * 1024, 8192, 4096, 2048, 512}
 // Paper: read latency rises steadily as the cache shrinks (more trees
 // evicted, more off-chip refetches); write latency is insensitive.
 func Figure6(opt Options) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, p := range trace.Benchmarks() {
-		var ref SweepPoint
-		for i, size := range Figure6Sizes {
-			cfg := protocol.DefaultConfig()
-			cfg.Seed = opt.Seed
-			cfg.VictimCaching = false
-			cfg.TreeEntries = size
-			m, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			pt := SweepPoint{Bench: p.Name, Value: size, Read: m.Lat.Read.Mean(), Write: m.Lat.Write.Mean()}
-			if i == 0 {
-				ref = pt
-			}
-			pt.Read /= ref.Read
-			pt.Write /= ref.Write
-			out = append(out, pt)
-		}
-	}
-	return out, nil
+	return sweepTree(opt, Figure6Sizes, func(cfg *protocol.Config, size int) {
+		cfg.VictimCaching = false
+		cfg.TreeEntries = size
+	}, "fig6")
 }
 
 // ---------------------------------------------------------------------------
@@ -148,24 +131,44 @@ var Figure7Ways = []int{8, 4, 2, 1}
 // suffers proactive-eviction misses (larger sets give passing writes more
 // victims to tear down).
 func Figure7(opt Options) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, p := range trace.Benchmarks() {
-		var ref SweepPoint
-		for i, ways := range Figure7Ways {
+	return sweepTree(opt, Figure7Ways, func(cfg *protocol.Config, ways int) {
+		cfg.VictimCaching = false
+		cfg.TreeWays = ways
+	}, "fig7")
+}
+
+// sweepTree runs the in-network protocol over a parameter grid for every
+// benchmark and normalizes each benchmark's latencies to its first grid
+// point. A failed reference point fails that benchmark's whole series.
+func sweepTree(opt Options, values []int, apply func(*protocol.Config, int), tag string) ([]SweepPoint, error) {
+	benches := trace.Benchmarks()
+	var jobs []exec.Job
+	for _, p := range benches {
+		for _, v := range values {
 			cfg := protocol.DefaultConfig()
-			cfg.Seed = opt.Seed
-			cfg.VictimCaching = false
-			cfg.TreeWays = ways
-			m, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
-			if err != nil {
-				return nil, err
+			apply(&cfg, v)
+			jobs = append(jobs, treeJob(fmt.Sprintf("%s/%s/%d", tag, p.Name, v), cfg, p, opt.AccessesPerNode, opt))
+		}
+	}
+	rs, err := runJobs(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for bi, p := range benches {
+		ref := rs[bi*len(values)]
+		for vi, v := range values {
+			r := rs[bi*len(values)+vi]
+			pt := SweepPoint{Bench: p.Name, Value: v}
+			switch {
+			case r.Failed():
+				pt.Err = r.Err
+			case ref.Failed():
+				pt.Err = fmt.Sprintf("reference point %d failed: %s", values[0], ref.Err)
+			default:
+				pt.Read = r.Read.Mean() / ref.Read.Mean()
+				pt.Write = r.Write.Mean() / ref.Write.Mean()
 			}
-			pt := SweepPoint{Bench: p.Name, Value: ways, Read: m.Lat.Read.Mean(), Write: m.Lat.Write.Mean()}
-			if i == 0 {
-				ref = pt
-			}
-			pt.Read /= ref.Read
-			pt.Write /= ref.Write
 			out = append(out, pt)
 		}
 	}
@@ -186,6 +189,7 @@ type Figure8Point struct {
 	L2       int
 	ReadRed  float64
 	WriteRed float64
+	Err      string
 }
 
 // Figure8 compares the protocols at shrinking L2 sizes. Paper: gains shrink
@@ -193,18 +197,31 @@ type Figure8Point struct {
 // ray — the large-footprint benchmarks — go negative at 128 KB; writes stay
 // insensitive.
 func Figure8(opt Options) ([]Figure8Point, error) {
-	var out []Figure8Point
-	for _, p := range trace.Benchmarks() {
+	benches := trace.Benchmarks()
+	var jobs []exec.Job
+	for _, p := range benches {
 		for _, l2 := range Figure8L2 {
 			cfg := protocol.DefaultConfig()
-			cfg.Seed = opt.Seed
 			cfg.L2Entries = l2
-			r, err := runPair(cfg, p, opt.AccessesPerNode, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
+			key := fmt.Sprintf("fig8/%s/%d", p.Name, l2)
+			jobs = append(jobs,
+				dirJob(key+"/dir", cfg, p, opt.AccessesPerNode, opt),
+				treeJob(key+"/tree", cfg, p, opt.AccessesPerNode, opt))
+		}
+	}
+	rs, err := runJobs(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure8Point
+	i := 0
+	for _, p := range benches {
+		for _, l2 := range Figure8L2 {
+			pair := pairFrom(p.Name, rs[i], rs[i+1])
+			i += 2
 			out = append(out, Figure8Point{Bench: p.Name, L2: l2,
-				ReadRed: r.ReadReduction(), WriteRed: r.WriteReduction()})
+				ReadRed: pair.ReadReduction(), WriteRed: pair.WriteReduction(),
+				Err: pair.Err})
 		}
 	}
 	return out, nil
@@ -217,16 +234,22 @@ func Figure8(opt Options) ([]Figure8Point, error) {
 // to 35% (reads) and 48% (writes) on average — in-transit optimization
 // scales with the network.
 func Figure9(opt Options) ([]PairResult, error) {
-	var out []PairResult
-	for _, p := range trace.Benchmarks() {
+	benches := trace.Benchmarks()
+	var jobs []exec.Job
+	for _, p := range benches {
 		cfg := protocol.DefaultConfig()
 		cfg.MeshW, cfg.MeshH = 8, 8
-		cfg.Seed = opt.Seed
-		r, err := runPair(cfg, p, opt.AccessesPerNode64, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		jobs = append(jobs,
+			dirJob("fig9/"+p.Name+"/dir", cfg, p, opt.AccessesPerNode64, opt),
+			treeJob("fig9/"+p.Name+"/tree", cfg, p, opt.AccessesPerNode64, opt))
+	}
+	rs, err := runJobs(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []PairResult
+	for i, p := range benches {
+		out = append(out, pairFrom(p.Name, rs[2*i], rs[2*i+1]))
 	}
 	out = append(out, averagePair(out))
 	return out, nil
@@ -242,24 +265,34 @@ type Table4Row struct {
 	ReadPct  float64
 	WritePct float64
 	Aborts   int64
+	Err      string
 }
 
 // Table4 measures the timeout/backoff recovery cost with the direct-mapped
 // 4K tree cache the paper uses for this experiment. Paper: about 0.2% of
 // overall latency on average.
 func Table4(opt Options) ([]Table4Row, error) {
-	var out []Table4Row
-	for _, p := range trace.Benchmarks() {
+	benches := trace.Benchmarks()
+	var jobs []exec.Job
+	for _, p := range benches {
 		cfg := protocol.DefaultConfig()
-		cfg.Seed = opt.Seed
 		cfg.TreeWays = 1
-		m, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, treeJob("table4/"+p.Name, cfg, p, opt.AccessesPerNode, opt))
+	}
+	rs, err := runJobs(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Table4Row
+	for i, p := range benches {
+		r := rs[i]
+		if r.Failed() {
+			out = append(out, Table4Row{Bench: p.Name, Err: r.Err})
+			continue
 		}
-		r, w := m.Lat.DeadlockShare()
-		out = append(out, Table4Row{Bench: p.Name, ReadPct: r, WritePct: w,
-			Aborts: m.Counters.Get("tree.deadlock_aborts")})
+		rd, wr := r.DeadlockShare()
+		out = append(out, Table4Row{Bench: p.Name, ReadPct: rd, WritePct: wr,
+			Aborts: r.Counter("tree.deadlock_aborts")})
 	}
 	return out, nil
 }
@@ -273,29 +306,23 @@ func Table4(opt Options) ([]Table4Row, error) {
 // implementation saves 31% (reads) and 49.1% (writes) on average, roughly
 // flat across benchmarks.
 func Figure10(opt Options) ([]PairResult, error) {
-	var out []PairResult
-	for _, p := range trace.Benchmarks() {
-		cfgIn := protocol.DefaultConfig()
-		cfgIn.Seed = opt.Seed
-		mIn, _, err := runTree(cfgIn, p, opt.AccessesPerNode, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
+	benches := trace.Benchmarks()
+	var jobs []exec.Job
+	for _, p := range benches {
 		cfgAb := protocol.DefaultConfig()
-		cfgAb.Seed = opt.Seed
 		cfgAb.AboveNetworkTree = true
-		mAb, _, err := runTree(cfgAb, p, opt.AccessesPerNode, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
 		// "Baseline" here is the above-network variant.
-		out = append(out, PairResult{
-			Bench:     p.Name,
-			BaseRead:  mAb.Lat.Read.Mean(),
-			BaseWrite: mAb.Lat.Write.Mean(),
-			TreeRead:  mIn.Lat.Read.Mean(),
-			TreeWrite: mIn.Lat.Write.Mean(),
-		})
+		jobs = append(jobs,
+			treeJob("fig10/"+p.Name+"/above", cfgAb, p, opt.AccessesPerNode, opt),
+			treeJob("fig10/"+p.Name+"/in", protocol.DefaultConfig(), p, opt.AccessesPerNode, opt))
+	}
+	rs, err := runJobs(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []PairResult
+	for i, p := range benches {
+		out = append(out, pairFrom(p.Name, rs[2*i], rs[2*i+1]))
 	}
 	out = append(out, averagePair(out))
 	return out, nil
@@ -310,6 +337,7 @@ type Figure11Point struct {
 	Bench    string
 	Pipeline int
 	Red      float64 // overall (read+write) mean latency reduction, percent
+	Err      string
 }
 
 // Figure11Depths sweeps the baseline pipeline from 5 down to 1 cycle.
@@ -319,35 +347,49 @@ var Figure11Depths = []int{5, 4, 3, 2, 1}
 // shorten (the +1 tree-cache stage weighs relatively more). Paper: savings
 // decrease monotonically toward the 2-versus-1-cycle point.
 func Figure11(opt Options) ([]Figure11Point, error) {
-	var out []Figure11Point
-	for _, p := range trace.Benchmarks() {
+	benches := trace.Benchmarks()
+	var jobs []exec.Job
+	for _, p := range benches {
 		for _, depth := range Figure11Depths {
 			cfg := protocol.DefaultConfig()
-			cfg.Seed = opt.Seed
 			cfg.BasePipeline = int64(depth)
-			mb, _, err := runDir(cfg, p, opt.AccessesPerNode, opt.Seed)
-			if err != nil {
-				return nil, err
+			key := fmt.Sprintf("fig11/%s/%d", p.Name, depth)
+			jobs = append(jobs,
+				dirJob(key+"/dir", cfg, p, opt.AccessesPerNode, opt),
+				treeJob(key+"/tree", cfg, p, opt.AccessesPerNode, opt))
+		}
+	}
+	rs, err := runJobs(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure11Point
+	i := 0
+	for _, p := range benches {
+		for _, depth := range Figure11Depths {
+			base, tree := rs[i], rs[i+1]
+			i += 2
+			pt := Figure11Point{Bench: p.Name, Pipeline: depth}
+			if base.Failed() {
+				pt.Err = base.Err
+			} else if tree.Failed() {
+				pt.Err = tree.Err
+			} else {
+				pt.Red = stats.Reduction(overallMean(base), overallMean(tree))
 			}
-			mt, _, err := runTree(cfg, p, opt.AccessesPerNode, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			base := overallMean(mb)
-			tree := overallMean(mt)
-			out = append(out, Figure11Point{Bench: p.Name, Pipeline: depth,
-				Red: stats.Reduction(base, tree)})
+			out = append(out, pt)
 		}
 	}
 	return out, nil
 }
 
-func overallMean(m *protocol.Machine) float64 {
-	n := m.Lat.Read.N + m.Lat.Write.N
+// overallMean pools read and write latencies into one mean.
+func overallMean(r exec.Result) float64 {
+	n := r.Read.N + r.Write.N
 	if n == 0 {
 		return 0
 	}
-	return (m.Lat.Read.Sum + m.Lat.Write.Sum) / float64(n)
+	return (r.Read.Sum + r.Write.Sum) / float64(n)
 }
 
 // ---------------------------------------------------------------------------

@@ -4,62 +4,71 @@
 // driver regenerates the corresponding result rows/series; DESIGN.md maps
 // every experiment to the modules it exercises and EXPERIMENTS.md records
 // paper-versus-measured values.
+//
+// Drivers build declarative job batches and run them on the internal/exec
+// orchestration pool: simulations execute across worker goroutines with
+// per-job seeds derived from the suite seed (never from worker order), so
+// every driver's output is byte-identical at any parallelism level. A
+// failing simulation — error, exceeded cycle bound, or panic — fails only
+// its own row (the row's Err field), and the rest of the experiment still
+// completes.
 package experiments
 
 import (
-	"fmt"
-
-	"innetcc/internal/directory"
+	"innetcc/internal/exec"
 	"innetcc/internal/protocol"
 	"innetcc/internal/stats"
 	"innetcc/internal/trace"
-	"innetcc/internal/treecc"
 )
 
 // Options scales the experiments: AccessesPerNode trades fidelity for run
-// time; Seed drives all randomness.
+// time; Seed drives all randomness (per-job seeds are derived from it).
 type Options struct {
 	AccessesPerNode   int
 	AccessesPerNode64 int
 	Seed              uint64
+
+	// Jobs is the simulation worker parallelism; <= 0 uses all cores.
+	// Results are identical at every setting.
+	Jobs int
+
+	// CacheDir, when non-empty, enables the on-disk result cache there:
+	// re-running an experiment whose job specs are unchanged replays
+	// results from disk instead of simulating.
+	CacheDir string
 }
 
 // DefaultOptions is sized so the full suite completes in a couple of
-// minutes while keeping per-benchmark orderings stable.
+// minutes on one core while keeping per-benchmark orderings stable; the
+// pool spreads it across all cores by default.
 func DefaultOptions() Options {
 	return Options{AccessesPerNode: 400, AccessesPerNode64: 120, Seed: 42}
 }
 
-// maxCycles bounds every simulation; a run hitting it indicates a protocol
-// bug and is surfaced as an error.
-const maxCycles = 200_000_000
-
-// runDir runs the baseline directory protocol for one benchmark.
-func runDir(cfg protocol.Config, p trace.Profile, accesses int, seed uint64) (*protocol.Machine, *directory.Engine, error) {
-	tr := trace.Generate(p, cfg.Nodes(), accesses, seed)
-	m, err := protocol.NewMachine(cfg, tr, p.Think)
-	if err != nil {
-		return nil, nil, err
+// runJobs executes a driver's batch on the configured pool. The returned
+// error covers infrastructure only (an unusable cache directory); per-job
+// failures are carried in the results.
+func runJobs(opt Options, jobs []exec.Job) ([]exec.Result, error) {
+	p := &exec.Pool{Workers: opt.Jobs}
+	if opt.CacheDir != "" {
+		c, err := exec.OpenCache(opt.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		p.Cache = c
 	}
-	e := directory.New(m)
-	if err := m.Run(maxCycles); err != nil {
-		return nil, nil, fmt.Errorf("%s baseline: %w", p.Name, err)
-	}
-	return m, e, nil
+	return p.Run(jobs), nil
 }
 
-// runTree runs the in-network protocol for one benchmark.
-func runTree(cfg protocol.Config, p trace.Profile, accesses int, seed uint64) (*protocol.Machine, *treecc.Engine, error) {
-	tr := trace.Generate(p, cfg.Nodes(), accesses, seed)
-	m, err := protocol.NewMachine(cfg, tr, p.Think)
-	if err != nil {
-		return nil, nil, err
-	}
-	e := treecc.New(m)
-	if err := m.Run(maxCycles); err != nil {
-		return nil, nil, fmt.Errorf("%s tree: %w", p.Name, err)
-	}
-	return m, e, nil
+// dirJob and treeJob build one-simulation specs for the two protocols.
+func dirJob(key string, cfg protocol.Config, p trace.Profile, accesses int, opt Options) exec.Job {
+	return exec.Job{Key: key, Proto: exec.ProtoDir, Config: cfg,
+		Profile: p, Accesses: accesses, SuiteSeed: opt.Seed}
+}
+
+func treeJob(key string, cfg protocol.Config, p trace.Profile, accesses int, opt Options) exec.Job {
+	return exec.Job{Key: key, Proto: exec.ProtoTree, Config: cfg,
+		Profile: p, Accesses: accesses, SuiteSeed: opt.Seed}
 }
 
 // PairResult compares the two protocols on one benchmark.
@@ -69,6 +78,10 @@ type PairResult struct {
 	BaseWrite float64
 	TreeRead  float64
 	TreeWrite float64
+
+	// Err marks a failed row (one of the pair's simulations failed); the
+	// latency fields are then zero.
+	Err string
 }
 
 // ReadReduction returns the in-network read-latency reduction in percent.
@@ -77,36 +90,40 @@ func (r PairResult) ReadReduction() float64 { return stats.Reduction(r.BaseRead,
 // WriteReduction returns the in-network write-latency reduction in percent.
 func (r PairResult) WriteReduction() float64 { return stats.Reduction(r.BaseWrite, r.TreeWrite) }
 
-// runPair runs both protocols on the same trace and returns the comparison.
-func runPair(cfg protocol.Config, p trace.Profile, accesses int, seed uint64) (PairResult, error) {
-	mb, _, err := runDir(cfg, p, accesses, seed)
-	if err != nil {
-		return PairResult{}, err
+// pairFrom folds a (baseline, tree) result pair into one comparison row,
+// propagating the first failure.
+func pairFrom(bench string, base, tree exec.Result) PairResult {
+	if base.Failed() {
+		return PairResult{Bench: bench, Err: base.Err}
 	}
-	mt, _, err := runTree(cfg, p, accesses, seed)
-	if err != nil {
-		return PairResult{}, err
+	if tree.Failed() {
+		return PairResult{Bench: bench, Err: tree.Err}
 	}
 	return PairResult{
-		Bench:     p.Name,
-		BaseRead:  mb.Lat.Read.Mean(),
-		BaseWrite: mb.Lat.Write.Mean(),
-		TreeRead:  mt.Lat.Read.Mean(),
-		TreeWrite: mt.Lat.Write.Mean(),
-	}, nil
+		Bench:     bench,
+		BaseRead:  base.Read.Mean(),
+		BaseWrite: base.Write.Mean(),
+		TreeRead:  tree.Read.Mean(),
+		TreeWrite: tree.Write.Mean(),
+	}
 }
 
-// averagePair folds a slice of pair results into an "avg" row.
+// averagePair folds a slice of pair results into an "avg" row over the
+// rows that succeeded.
 func averagePair(rs []PairResult) PairResult {
 	var a PairResult
 	a.Bench = "avg"
+	n := 0.0
 	for _, r := range rs {
+		if r.Err != "" {
+			continue
+		}
 		a.BaseRead += r.BaseRead
 		a.BaseWrite += r.BaseWrite
 		a.TreeRead += r.TreeRead
 		a.TreeWrite += r.TreeWrite
+		n++
 	}
-	n := float64(len(rs))
 	if n > 0 {
 		a.BaseRead /= n
 		a.BaseWrite /= n

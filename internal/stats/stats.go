@@ -157,6 +157,46 @@ func (s *Sampler) Percentile(p float64) float64 {
 	return s.vals[rank-1]
 }
 
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Sampler) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Summary is the standard latency report: the mean the paper's tables use
+// plus the tail percentiles (p50/p95/p99) that characterize the
+// distribution's body and tail.
+type Summary struct {
+	N             int64
+	Mean          float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes the sampler's summary (zero value with no samples).
+func (s *Sampler) Summarize() Summary {
+	if len(s.vals) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    int64(len(s.vals)),
+		Mean: s.Mean(),
+		P50:  s.Percentile(50),
+		P95:  s.Percentile(95),
+		P99:  s.Percentile(99),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f",
+		s.N, s.Mean, s.P50, s.P95, s.P99)
+}
+
 // Counters is a string-keyed event counter set for protocol bookkeeping
 // (teardowns spawned, deadlocks recovered, victim hits, ...).
 type Counters struct {

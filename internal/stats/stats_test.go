@@ -194,6 +194,58 @@ func TestSamplerPercentiles(t *testing.T) {
 	}
 }
 
+func TestSummarizeUniform(t *testing.T) {
+	// Uniform 1..1000: every statistic is known exactly (nearest-rank).
+	var s Sampler
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.N != 1000 || sum.Mean != 500.5 {
+		t.Fatalf("n/mean = %d/%v, want 1000/500.5", sum.N, sum.Mean)
+	}
+	if sum.P50 != 500 || sum.P95 != 950 || sum.P99 != 990 {
+		t.Fatalf("percentiles %v/%v/%v, want 500/950/990", sum.P50, sum.P95, sum.P99)
+	}
+}
+
+func TestSummarizeHeavyTail(t *testing.T) {
+	// Two-point distribution: 90 samples at 1, 10 at 100. The median sits
+	// in the body, the tail percentiles in the spike.
+	var s Sampler
+	for i := 0; i < 90; i++ {
+		s.Add(1)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(100)
+	}
+	sum := s.Summarize()
+	if sum.P50 != 1 || sum.P95 != 100 || sum.P99 != 100 {
+		t.Fatalf("percentiles %v/%v/%v, want 1/100/100", sum.P50, sum.P95, sum.P99)
+	}
+	if math.Abs(sum.Mean-10.9) > 1e-9 {
+		t.Fatalf("mean %v, want 10.9", sum.Mean)
+	}
+}
+
+func TestSummarizeConstantAndEmpty(t *testing.T) {
+	var empty Sampler
+	if got := empty.Summarize(); got != (Summary{}) {
+		t.Fatalf("empty summary %+v, want zero", got)
+	}
+	var s Sampler
+	for i := 0; i < 7; i++ {
+		s.Add(42)
+	}
+	sum := s.Summarize()
+	if sum.Mean != 42 || sum.P50 != 42 || sum.P95 != 42 || sum.P99 != 42 {
+		t.Fatalf("constant summary %+v", sum)
+	}
+	if sum.String() != "n=7 mean=42.0 p50=42 p95=42 p99=42" {
+		t.Fatalf("String() = %q", sum.String())
+	}
+}
+
 func TestSamplerPercentileMonotoneProperty(t *testing.T) {
 	err := quick.Check(func(xs []int16) bool {
 		if len(xs) == 0 {

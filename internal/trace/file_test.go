@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -29,6 +30,82 @@ func TestWriteReadRoundTrip(t *testing.T) {
 				t.Fatalf("node %d access %d differs", n, i)
 			}
 		}
+	}
+}
+
+// An empty trace (header only, zero accesses) must survive the round trip
+// as a deep-equal structure: same name, same node count, all streams empty.
+func TestRoundTripEmptyTrace(t *testing.T) {
+	orig := &Trace{Name: "empty", PerNode: make([][]Access, 4)}
+	var b strings.Builder
+	if err := orig.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "trace empty 4\n" {
+		t.Fatalf("serialized empty trace = %q", b.String())
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || len(got.PerNode) != 4 || got.TotalAccesses() != 0 {
+		t.Fatalf("round-tripped empty trace wrong: %+v", got)
+	}
+	for n := range got.PerNode {
+		if len(got.PerNode[n]) != 0 {
+			t.Fatalf("node %d stream not empty", n)
+		}
+	}
+}
+
+// A file truncated mid-record (as a cut-off download or partial write
+// produces) must fail with a line-numbered error, not parse silently.
+func TestReadRejectsTruncatedFile(t *testing.T) {
+	full := "trace demo 2\n0 R 10\n1 W ff\n0 R 2a\n"
+	// Cut inside the final record: "0 R 2a\n" -> "0 R".
+	truncated := full[:len(full)-4]
+	_, err := Read(strings.NewReader(truncated))
+	if err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %q does not name the offending line", err)
+	}
+	// Truncating at a record boundary is indistinguishable from a short
+	// trace and must still parse (fewer accesses, no error).
+	tr, err := Read(strings.NewReader(full[:len(full)-7]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalAccesses() != 2 {
+		t.Fatalf("boundary-truncated trace has %d accesses, want 2", tr.TotalAccesses())
+	}
+}
+
+// Deep round trip over a generated trace: write -> read -> reflect.DeepEqual
+// (modulo nil-versus-empty stream representation for idle nodes).
+func TestRoundTripDeepEqual(t *testing.T) {
+	p, _ := ProfileByName("wsp")
+	orig := Generate(p, 16, 80, 11)
+	var b strings.Builder
+	if err := orig.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize empty streams: the reader leaves untouched nodes nil.
+	for n := range got.PerNode {
+		if got.PerNode[n] == nil {
+			got.PerNode[n] = []Access{}
+		}
+		if orig.PerNode[n] == nil {
+			orig.PerNode[n] = []Access{}
+		}
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip not deep-equal:\n orig: %+v\n got: %+v", orig, got)
 	}
 }
 

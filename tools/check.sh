@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repository check: build, vet, race-enabled tests. CI runs exactly this
+# script (.github/workflows/ci.yml) so local and CI results agree.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+gofmt_out=$(gofmt -l .)
+if [ -n "$gofmt_out" ]; then
+    echo "gofmt needed on:" "$gofmt_out" >&2
+    exit 1
+fi
+
+go build ./...
+go vet ./...
+go test -race ./...
