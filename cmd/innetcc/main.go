@@ -17,6 +17,16 @@
 //	innetcc -exp all -jobs 8          # 8 simulation workers
 //	innetcc -exp all -cache .innetcc-cache
 //	innetcc -exp mcheck               # exhaustive model checking
+//	innetcc -exp fig5 -metrics       # + latency breakdown / NoC tables
+//	innetcc -exp fig5 -metrics -metrics-out m.csv   # export (.json for JSON)
+//	innetcc -exp fig5 -flight-dump   # + per-job protocol event ring
+//
+// -metrics attaches the cycle-level observability layer (internal/metrics)
+// to every simulation: per-router link utilization and queue occupancy,
+// tree-cache hit/miss/eviction counters, and a per-access latency breakdown
+// (queueing / serialization / traversal / controller) whose components sum
+// to the reported average latency. Instrumentation is purely observational:
+// simulation results are byte-identical with metrics on or off.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"innetcc/internal/experiments"
 	"innetcc/internal/mcheck"
@@ -62,6 +73,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "experiment suite seed (per-job seeds derive from it)")
 	jobs := flag.Int("jobs", 0, "simulation worker parallelism (0 = all cores); results are identical at any setting")
 	cacheDir := flag.String("cache", "", "on-disk result cache directory (empty = caching off)")
+	metricsOn := flag.Bool("metrics", false, "attach the cycle-level observability layer and print per-job metric tables")
+	metricsOut := flag.String("metrics-out", "", "export collected metrics to this file (.json = JSON, anything else = sectioned CSV); implies -metrics")
+	flightDump := flag.Bool("flight-dump", false, "print each job's flight-recorder event ring; implies -metrics")
 	flag.Parse()
 
 	if *list {
@@ -74,8 +88,10 @@ func main() {
 		Seed:              *seed,
 		Jobs:              *jobs,
 		CacheDir:          *cacheDir,
+		Metrics:           *metricsOn || *metricsOut != "" || *flightDump,
+		FlightDump:        *flightDump,
 	}
-	if err := run(os.Stdout, *exp, opt); err != nil {
+	if err := run(os.Stdout, *exp, opt, *metricsOut, *flightDump); err != nil {
 		fmt.Fprintln(os.Stderr, "innetcc:", err)
 		os.Exit(1)
 	}
@@ -88,27 +104,66 @@ func printList(w io.Writer) {
 	}
 }
 
-func run(w io.Writer, exp string, opt experiments.Options) error {
-	if exp == "all" {
-		for _, e := range registry {
-			if err := e.run(w, opt); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
+func run(w io.Writer, exp string, opt experiments.Options, metricsOut string, flightDump bool) error {
+	var export []experiments.MetricsEntry
+	runOne := func(e experiment) error {
+		if opt.Metrics {
+			opt.MetricsLog = &experiments.MetricsLog{} // fresh per experiment
 		}
+		if err := e.run(w, opt); err != nil {
+			return err
+		}
+		if opt.MetricsLog != nil {
+			experiments.PrintMetrics(w, opt.MetricsLog)
+			if flightDump {
+				experiments.PrintFlight(w, opt.MetricsLog, maxFlightPrint)
+			}
+			export = append(export, opt.MetricsLog.Entries...)
+		}
+		fmt.Fprintln(w)
 		return nil
 	}
+
+	found := false
 	for _, e := range registry {
-		if e.name == exp {
-			if err := e.run(w, opt); err != nil {
+		if exp == "all" || e.name == exp {
+			found = true
+			if err := runOne(e); err != nil {
 				return err
 			}
-			fmt.Fprintln(w)
-			return nil
 		}
 	}
-	printList(os.Stderr)
-	return fmt.Errorf("unknown experiment %q (see list above, or run innetcc -list)", exp)
+	if !found {
+		printList(os.Stderr)
+		return fmt.Errorf("unknown experiment %q (see list above, or run innetcc -list)", exp)
+	}
+	if metricsOut != "" {
+		if err := writeMetrics(metricsOut, export); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics: wrote %d job payload(s) to %s\n", len(export), metricsOut)
+	}
+	return nil
+}
+
+// maxFlightPrint caps the per-job flight tail printed by -flight-dump; the
+// full retained ring is available via -metrics-out JSON.
+const maxFlightPrint = 64
+
+func writeMetrics(path string, entries []experiments.MetricsEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		if err := experiments.WriteMetricsJSON(f, entries); err != nil {
+			return err
+		}
+	} else if err := experiments.WriteMetricsCSV(f, entries); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func runHopCount(w io.Writer, opt experiments.Options) error {

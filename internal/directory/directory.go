@@ -14,6 +14,7 @@ package directory
 
 import (
 	"innetcc/internal/cache"
+	"innetcc/internal/metrics"
 	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 )
@@ -136,10 +137,14 @@ func (e *Engine) handleReq(home int, msg *protocol.Msg) {
 		case ok && ep.modified:
 			ep.busy = true
 			e.m.Counters.Inc("dir.fwds", 1)
+			e.m.Metrics.Add(metrics.CDirFwd, 1)
+			e.m.Metrics.Event(now, metrics.EvDirFwd, int16(home), msg.Addr, int64(ep.owner))
 			e.send(home, ep.owner, &protocol.Msg{Type: protocol.Fwd, Addr: msg.Addr, Requester: msg.Requester}, now)
 		case ok && ep.sharers != 0:
 			ep.busy = true
 			e.m.Counters.Inc("dir.fwds", 1)
+			e.m.Metrics.Add(metrics.CDirFwd, 1)
+			e.m.Metrics.Event(now, metrics.EvDirFwd, int16(home), msg.Addr, int64(firstSharer(ep.sharers)))
 			e.send(home, firstSharer(ep.sharers), &protocol.Msg{Type: protocol.Fwd, Addr: msg.Addr, Requester: msg.Requester}, now)
 		default:
 			if !ok {
@@ -170,6 +175,8 @@ func (e *Engine) handleReq(home int, msg *protocol.Msg) {
 	ep.pendingAcks = popcount(targets)
 	for n := 0; n < e.m.Cfg.Nodes(); n++ {
 		if targets&bit(n) != 0 {
+			e.m.Metrics.Add(metrics.CDirInval, 1)
+			e.m.Metrics.Event(now, metrics.EvDirInval, int16(home), msg.Addr, int64(n))
 			e.send(home, n, &protocol.Msg{Type: protocol.Inv, Addr: msg.Addr, Requester: msg.Requester}, now)
 		}
 	}
@@ -424,6 +431,8 @@ func (e *Engine) allocEntry(home int, msg *protocol.Msg) *dirEntry {
 	vep.pendingAcks = popcount(targets)
 	for n := 0; n < e.m.Cfg.Nodes(); n++ {
 		if targets&bit(n) != 0 {
+			e.m.Metrics.Add(metrics.CDirInval, 1)
+			e.m.Metrics.Event(now, metrics.EvDirInval, int16(home), vaddr, int64(n))
 			e.send(home, n, &protocol.Msg{Type: protocol.Inv, Addr: vaddr}, now)
 		}
 	}
@@ -480,6 +489,15 @@ func (e *Engine) OnL2Evict(node int, addr uint64, line protocol.DataLine, now in
 
 // Quiesced implements protocol.Engine.
 func (e *Engine) Quiesced() bool { return e.queued == 0 }
+
+// MetricsGauges implements metrics.GaugeSource: total live directory entries
+// across all homes, and the queued/parked request backlog.
+func (e *Engine) MetricsGauges() (occupancy, queueDepth int) {
+	for _, d := range e.dirs {
+		occupancy += d.Len()
+	}
+	return occupancy, e.queued
+}
 
 func firstSharer(set uint64) int {
 	for n := 0; n < 64; n++ {

@@ -42,7 +42,7 @@ const DefaultMaxCycles = 200_000_000
 // specVersion invalidates cached results when the result schema or the
 // simulation semantics change incompatibly. Bump it on any change that
 // alters what a given spec computes.
-const specVersion = 1
+const specVersion = 2 // v2: Result.Metrics / Job.Metrics (observability payload)
 
 // Job describes one hermetic simulation: which protocol to run, on which
 // configuration, over which synthetic trace. Everything the simulation
@@ -73,6 +73,11 @@ type Job struct {
 	// CollectHops records the Section 1 oracle hop comparison (directory
 	// protocol only).
 	CollectHops bool
+
+	// Metrics requests the cycle-level observability payload
+	// (Result.Metrics). Purely observational: enabling it never changes
+	// the simulation outcome, only what the result carries.
+	Metrics MetricsSpec
 }
 
 // SeedKey identifies the job's random stream: jobs over the same trace
@@ -129,6 +134,7 @@ type hashSpec struct {
 	SuiteSeed   uint64
 	MaxCycles   int64
 	CollectHops bool
+	Metrics     MetricsSpec
 }
 
 // Hash returns the content hash of the job spec, used as the cache key.
@@ -143,6 +149,7 @@ func (j Job) Hash() string {
 		SuiteSeed:   j.SuiteSeed,
 		MaxCycles:   j.maxCycles(),
 		CollectHops: j.CollectHops,
+		Metrics:     j.Metrics,
 	}
 	spec.Config.Seed = 0
 	b, err := json.Marshal(spec) // struct marshal: deterministic field order
@@ -188,7 +195,8 @@ type HopAgg struct {
 // so it must carry everything any experiment driver reads from a run.
 type Result struct {
 	// Err is non-empty when the job failed (simulation error, cycle-bound
-	// exceeded, or a recovered panic); all other fields are then zero.
+	// exceeded, or a recovered panic); all other fields are then zero
+	// except Metrics, which carries the partial capture for post-mortem.
 	Err string `json:",omitempty"`
 
 	Cycles    int64 // simulated cycles at quiescence
@@ -200,6 +208,11 @@ type Result struct {
 
 	Counters map[string]int64 `json:",omitempty"`
 	Hops     *HopAgg          `json:",omitempty"`
+
+	// Metrics is the observability payload (present when the job's
+	// MetricsSpec enabled it). On failure it still carries whatever the
+	// collector captured up to the fault, including the flight ring.
+	Metrics *MetricsOut `json:",omitempty"`
 
 	// Key mirrors the job's display label; Cached reports whether the
 	// result was served from the on-disk cache. Neither is persisted.

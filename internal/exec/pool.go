@@ -87,9 +87,10 @@ func (p *Pool) runOne(job Job) (res Result) {
 // protocol or network stack are recovered into the job's Result so one
 // diverging configuration cannot take down the batch.
 func simulate(job Job) (res Result) {
+	col := collectorFor(job.Metrics)
 	defer func() {
 		if r := recover(); r != nil {
-			res = Result{Err: fmt.Sprintf("panic: %v", r)}
+			res = Result{Err: fmt.Sprintf("panic: %v", r), Metrics: metricsOut(col, true)}
 		}
 	}()
 
@@ -99,8 +100,9 @@ func simulate(job Job) (res Result) {
 	tr := trace.Generate(job.Profile, cfg.Nodes(), job.Accesses, seed)
 	m, err := protocol.NewMachine(cfg, tr, job.Profile.Think)
 	if err != nil {
-		return Result{Err: err.Error()}
+		return Result{Err: err.Error(), Metrics: metricsOut(col, true)}
 	}
+	m.Metrics = col // must precede engine construction (AttachEngine wires the mesh)
 	m.ReadSamples = &stats.Sampler{}
 	m.WriteSamples = &stats.Sampler{}
 
@@ -132,7 +134,10 @@ func simulate(job Job) (res Result) {
 	}
 
 	if err := m.Run(job.maxCycles()); err != nil {
-		return Result{Err: fmt.Sprintf("%s %s: %v", job.Profile.Name, job.Proto, err)}
+		return Result{
+			Err:     fmt.Sprintf("%s %s: %v", job.Profile.Name, job.Proto, err),
+			Metrics: metricsOut(col, true),
+		}
 	}
 
 	res = Result{
@@ -143,6 +148,7 @@ func simulate(job Job) (res Result) {
 		DeadlockRead:  dist(&m.Lat.DeadlockRead, nil),
 		DeadlockWrite: dist(&m.Lat.DeadlockWrite, nil),
 		Hops:          hops,
+		Metrics:       metricsOut(col, job.Metrics.FlightDump),
 	}
 	if names := m.Counters.Names(); len(names) > 0 {
 		res.Counters = make(map[string]int64, len(names))

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"innetcc/internal/metrics"
+)
+
+// WriteMetricsJSON exports the metrics log as indented JSON: one object per
+// job with its key and full result (including the observability payload).
+func WriteMetricsJSON(w io.Writer, entries []MetricsEntry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// WriteMetricsCSV exports the metrics log as sectioned CSV. Each section
+// opens with a "# name" comment line and its own header row:
+//
+//	# breakdown  — per job and access class: cycle-mean latency components
+//	# counters   — per job: named protocol instrumentation totals
+//	# routers    — per job, router and output port: link utilization,
+//	               busy cycles, grants, serialization waits, policy stalls
+//	# queues     — per job, router and input port: mean queue depth
+//	# series     — per job: cycle-bucketed in-flight / occupancy / queue
+//	               depth time series
+func WriteMetricsCSV(w io.Writer, entries []MetricsEntry) error {
+	cw := csv.NewWriter(w)
+	section := func(name string, header ...string) error {
+		cw.Flush()
+		if _, err := fmt.Fprintf(w, "# %s\n", name); err != nil {
+			return err
+		}
+		return cw.Write(header)
+	}
+
+	if err := section("breakdown", "key", "class", "n",
+		"total_mean", "queue_mean", "serial_mean", "traversal_mean", "controller_mean"); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		m := e.Result.Metrics
+		for _, cl := range []struct {
+			name                               string
+			n, total, queue, serial, trav, ctl int64
+		}{
+			{"read", m.Read.N, m.Read.Total, m.Read.Queue, m.Read.Serial, m.Read.Traversal, m.Read.Controller},
+			{"write", m.Write.N, m.Write.Total, m.Write.Queue, m.Write.Serial, m.Write.Traversal, m.Write.Controller},
+		} {
+			if cl.n == 0 {
+				continue
+			}
+			n := float64(cl.n)
+			cw.Write([]string{e.Key, cl.name, itoa(cl.n),
+				ftoa(float64(cl.total) / n), ftoa(float64(cl.queue) / n),
+				ftoa(float64(cl.serial) / n), ftoa(float64(cl.trav) / n),
+				ftoa(float64(cl.ctl) / n)})
+		}
+	}
+
+	if err := section("counters", "key", "counter", "value"); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		names := make([]string, 0, len(e.Result.Metrics.Counters))
+		for n := range e.Result.Metrics.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			cw.Write([]string{e.Key, n, itoa(e.Result.Metrics.Counters[n])})
+		}
+	}
+
+	if err := section("routers", "key", "node", "port",
+		"util", "busy_cycles", "grants", "serial_wait", "policy_stalls"); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		m := e.Result.Metrics
+		for _, r := range m.Routers {
+			for _, l := range r.Links {
+				cw.Write([]string{e.Key, itoa(int64(r.Node)), l.Dir,
+					ftoa(l.Util(m.Cycles)), itoa(l.BusyCycles),
+					itoa(l.Grants), itoa(l.SerialWait), itoa(r.PolicyStalls)})
+			}
+		}
+	}
+
+	if err := section("queues", "key", "node", "in_port", "mean_depth"); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		m := e.Result.Metrics
+		for _, r := range m.Routers {
+			for p, sum := range r.QueueSum {
+				if m.Cycles <= 0 {
+					continue
+				}
+				cw.Write([]string{e.Key, itoa(int64(r.Node)), itoa(int64(p)),
+					ftoa(float64(sum) / float64(m.Cycles))})
+			}
+		}
+	}
+
+	if err := section("series", "key", "series", "cycle", "mean", "samples"); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		m := e.Result.Metrics
+		for _, s := range []struct {
+			name string
+			pts  []metrics.SeriesPoint
+		}{
+			{"in_flight", m.InFlight},
+			{"occupancy", m.Occupancy},
+			{"queue_depth", m.QueueDepth},
+		} {
+			for _, p := range s.pts {
+				cw.Write([]string{e.Key, s.name, itoa(p.Cycle), ftoa(p.Mean), itoa(p.N)})
+			}
+		}
+	}
+
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int64) string   { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -36,6 +36,17 @@ type Options struct {
 	// re-running an experiment whose job specs are unchanged replays
 	// results from disk instead of simulating.
 	CacheDir string
+
+	// Metrics enables the cycle-level observability collector on every
+	// job the experiment runs; FlightDump additionally keeps each job's
+	// flight-recorder ring in its result. Both are purely observational —
+	// the experiment tables are byte-identical either way.
+	Metrics    bool
+	FlightDump bool
+
+	// MetricsLog, when non-nil, accumulates each metrics-carrying result
+	// for reporting and export after the experiment's own tables.
+	MetricsLog *MetricsLog
 }
 
 // DefaultOptions is sized so the full suite completes in a couple of
@@ -49,6 +60,11 @@ func DefaultOptions() Options {
 // error covers infrastructure only (an unusable cache directory); per-job
 // failures are carried in the results.
 func runJobs(opt Options, jobs []exec.Job) ([]exec.Result, error) {
+	if opt.Metrics {
+		for i := range jobs {
+			jobs[i].Metrics = exec.MetricsSpec{Enabled: true, FlightDump: opt.FlightDump}
+		}
+	}
 	p := &exec.Pool{Workers: opt.Jobs}
 	if opt.CacheDir != "" {
 		c, err := exec.OpenCache(opt.CacheDir)
@@ -57,7 +73,9 @@ func runJobs(opt Options, jobs []exec.Job) ([]exec.Result, error) {
 		}
 		p.Cache = c
 	}
-	return p.Run(jobs), nil
+	results := p.Run(jobs)
+	opt.MetricsLog.add(results)
+	return results, nil
 }
 
 // dirJob and treeJob build one-simulation specs for the two protocols.

@@ -54,3 +54,13 @@ func (m *Memory) Writeback(addr uint64, v uint64) {
 
 // Lines returns how many distinct lines have ever been written back.
 func (m *Memory) Lines() int { return len(m.versions) }
+
+// Snapshot returns a copy of the per-line version map, for end-state
+// verification.
+func (m *Memory) Snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m.versions))
+	for a, v := range m.versions {
+		out[a] = v
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package metrics
+
+// Breakdown decomposes every completed coherence access's latency into four
+// exhaustive components:
+//
+//	queueing      — cycles waiting in router FIFOs behind other traffic
+//	                (plus NIC serialization at the controllers)
+//	serialization — cycles the packet's head waited for an output link
+//	                still transmitting a previous packet's flits
+//	traversal     — the contention-free minimum network time: pipeline
+//	                stages and link cycles along the path actually taken
+//	controller    — cycles above the network: data-cache, directory and
+//	                memory service at the endpoints
+//
+// The decomposition is exact by construction: traversal is computed
+// analytically from hop counts, serialization is measured per packet,
+// queueing is the remaining in-network residual and controller time is the
+// out-of-network residual, so the four components always sum to the measured
+// end-to-end latency.
+type Breakdown struct {
+	Read  BreakdownClass
+	Write BreakdownClass
+}
+
+// BreakdownClass accumulates one access class. Fields are cycle sums over N
+// accesses; means are Sum/N.
+type BreakdownClass struct {
+	N          int64
+	Total      int64
+	Queue      int64
+	Serial     int64
+	Traversal  int64
+	Controller int64
+}
+
+// Record folds one completed access: total is the end-to-end latency, net
+// the cycles its packets spent inside the network, trav the analytic
+// contention-free network minimum and serial the measured link-serialization
+// wait. Components are clamped pairwise so that queue+serial+trav+controller
+// always equals total even for degenerate measurements (e.g. message types
+// excluded from attribution make net an undercount, which lands in the
+// controller residual by design).
+func (b *Breakdown) Record(write bool, total, net, trav, serial int64) {
+	cl := &b.Read
+	if write {
+		cl = &b.Write
+	}
+	if net > total {
+		net = total
+	}
+	if trav > net {
+		trav = net
+	}
+	if serial > net-trav {
+		serial = net - trav
+	}
+	queue := net - trav - serial
+	controller := total - net
+	cl.N++
+	cl.Total += total
+	cl.Queue += queue
+	cl.Serial += serial
+	cl.Traversal += trav
+	cl.Controller += controller
+}
+
+// Sum returns the class's component sum; it equals Total by construction.
+func (c BreakdownClass) Sum() int64 { return c.Queue + c.Serial + c.Traversal + c.Controller }
+
+// Mean returns the mean total latency.
+func (c BreakdownClass) Mean() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.Total) / float64(c.N)
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import "fmt"
+
+// EventKind identifies a flight-recorder protocol event.
+type EventKind uint8
+
+// Protocol events. Tree events carry the line address; Aux is event-specific
+// (see each constant).
+const (
+	// EvInject: a CPU issued a coherence request (Aux: 1 for writes).
+	EvInject EventKind = iota
+	// EvComplete: a reply completed a node's outstanding access
+	// (Aux: total latency in cycles).
+	EvComplete
+	// EvTreeHit / EvTreeMiss: a request's per-router tree-cache lookup
+	// (Aux: requester node).
+	EvTreeHit
+	EvTreeMiss
+	// EvBump: a request was steered along a tree link toward the root
+	// instead of the home node (Aux: requester node).
+	EvBump
+	// EvSharerServe: a tree node's data cache served a read in place
+	// (Aux: hops saved vs routing to the home node; may be negative).
+	EvSharerServe
+	// EvTeardown: a teardown touched a node's tree line (Aux: remaining
+	// link count).
+	EvTeardown
+	// EvTeardownComplete: the home node's last link cleared; the tree is
+	// gone (Aux: requests that had queued behind the teardown).
+	EvTeardownComplete
+	// EvHomeQueued: a request was queued at the home node behind a
+	// teardown in progress (Aux: requester node).
+	EvHomeQueued
+	// EvHomeDrained: a queued request was re-released after teardown
+	// completion (Aux: requester node).
+	EvHomeDrained
+	// EvDeadlockAbort: a stalled reply hit the timeout and reverted to a
+	// backoff-flagged request (Aux: requester node).
+	EvDeadlockAbort
+	// EvBackoff: a recovered request was held at the home node for its
+	// random backoff delay (Aux: the delay in cycles).
+	EvBackoff
+	// EvConflictEvict: a stalled reply initiated teardown of the blocked
+	// set's LRU tree (Aux: requester node).
+	EvConflictEvict
+	// EvProactiveEvict: a write request tore down a conflicting LRU tree
+	// on its way to the home node (Aux: requester node).
+	EvProactiveEvict
+	// EvDirFwd: the baseline directory forwarded a read to a sharer/owner
+	// (Aux: target node).
+	EvDirFwd
+	// EvDirInval: the baseline directory sent an invalidation
+	// (Aux: target node).
+	EvDirInval
+
+	numEventKinds
+)
+
+// String returns the event kind's export name.
+func (k EventKind) String() string {
+	switch k {
+	case EvInject:
+		return "inject"
+	case EvComplete:
+		return "complete"
+	case EvTreeHit:
+		return "tree_hit"
+	case EvTreeMiss:
+		return "tree_miss"
+	case EvBump:
+		return "bump"
+	case EvSharerServe:
+		return "sharer_serve"
+	case EvTeardown:
+		return "teardown"
+	case EvTeardownComplete:
+		return "teardown_complete"
+	case EvHomeQueued:
+		return "home_queued"
+	case EvHomeDrained:
+		return "home_drained"
+	case EvDeadlockAbort:
+		return "deadlock_abort"
+	case EvBackoff:
+		return "backoff"
+	case EvConflictEvict:
+		return "conflict_evict"
+	case EvProactiveEvict:
+		return "proactive_evict"
+	case EvDirFwd:
+		return "dir_fwd"
+	case EvDirInval:
+		return "dir_inval"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one flight-recorder entry. Fields are ordered for compactness;
+// the struct is plain data and serializes with encoding/json.
+type Event struct {
+	Cycle int64
+	Addr  uint64
+	Aux   int64
+	Kind  EventKind
+	Node  int16
+}
+
+// String renders the event for flight dumps.
+func (e Event) String() string {
+	return fmt.Sprintf("[%10d] %-17s n%-3d addr=%#x aux=%d", e.Cycle, e.Kind, e.Node, e.Addr, e.Aux)
+}
+
+// Recorder is a bounded ring buffer of protocol events: the flight recorder.
+// When full it overwrites the oldest entries, so after a failure it holds
+// the most recent window of protocol activity. Record never allocates.
+type Recorder struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRecorder builds a recorder holding up to capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (r *Recorder) Record(cycle int64, kind EventKind, node int16, addr uint64, aux int64) {
+	e := Event{Cycle: cycle, Kind: kind, Node: node, Addr: addr, Aux: aux}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next++
+	if r.next == cap(r.buf) {
+		r.next = 0
+	}
+	r.total++
+}
+
+// Total returns how many events were ever recorded (including overwritten
+// ones).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Events returns the retained events oldest-first.
+func (r *Recorder) Events() []Event {
+	if r.total <= uint64(cap(r.buf)) {
+		out := make([]Event, len(r.buf))
+		copy(out, r.buf)
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"innetcc/internal/metrics"
 	"innetcc/internal/sim"
 )
 
@@ -73,6 +74,18 @@ type Mesh struct {
 	// InFlight is the number of packets currently inside the network.
 	InFlight int
 
+	// Metrics, when non-nil, receives per-router instrumentation (link
+	// occupancy, grants, arbitration stalls, queue integrals). It is
+	// purely observational: routing, arbitration and timing are identical
+	// with it on or off.
+	Metrics *metrics.NoC
+
+	// DeliverFn, when non-nil, observes every packet leaving the network
+	// — ejections through a local port (consumed=false) and in-network
+	// consumptions by the policy (consumed=true) — before the protocol
+	// handler runs. Observational only.
+	DeliverFn func(p *Packet, consumed bool, now int64)
+
 	// TotalHops and DeliveredPackets accumulate across the run.
 	TotalHops        int64
 	DeliveredPackets int64
@@ -100,6 +113,11 @@ func NewMesh(k *sim.Kernel, w, h int, pipeline int64, vcCount int, policy Policy
 // Nodes returns the number of routers in the mesh.
 func (m *Mesh) Nodes() int { return m.W * m.H }
 
+// InPorts and OutPorts export the router port counts for instrumentation
+// sizing (metrics.NewNoC).
+func (m *Mesh) InPorts() int  { return numInPorts }
+func (m *Mesh) OutPorts() int { return numOutPorts }
+
 // NextID allocates a fresh packet id.
 func (m *Mesh) NextID() uint64 {
 	m.nextID++
@@ -114,6 +132,7 @@ func (m *Mesh) Inject(node int, p *Packet, now int64) {
 	p.InjectedAt = now
 	p.routed = false
 	p.stallStart = 0
+	p.serialWait = 0
 	m.InFlight++
 	r.in[Local][int(p.Class)%m.VCCount].push(fifoEntry{pkt: p, readyAt: now + m.Pipeline + r.ExtraHopDelay})
 }
@@ -129,6 +148,7 @@ func (m *Mesh) spawn(node int, p *Packet, now int64) {
 	}
 	p.routed = false
 	p.stallStart = 0
+	p.serialWait = 0
 	m.InFlight++
 	delay := m.Pipeline + r.ExtraHopDelay
 	if p.Expedited {
@@ -145,6 +165,15 @@ func (m *Mesh) Spawn(node int, p *Packet, now int64) { m.spawn(node, p, now) }
 // packets, then arbitrate each output port.
 func (r *Router) Tick(now int64) {
 	m := r.mesh
+	nm := m.Metrics
+	if nm != nil {
+		// Integrate input-FIFO occupancy (packet-cycles) per port/VC.
+		for port := 0; port < numInPorts; port++ {
+			for vc := 0; vc < m.VCCount; vc++ {
+				nm.QueueSum[nm.InIdx(r.NodeID, port, vc)] += int64(len(r.in[port][vc].q))
+			}
+		}
+	}
 	// Phase 1: routing decisions for FIFO heads that cleared the pipeline.
 	for port := 0; port < numInPorts; port++ {
 		for vc := 0; vc < m.VCCount; vc++ {
@@ -163,9 +192,15 @@ func (r *Router) Tick(now int64) {
 				m.InFlight--
 				m.DeliveredPackets++
 				m.TotalHops += int64(p.Hops)
+				if m.DeliverFn != nil {
+					m.DeliverFn(p, true, now)
+				}
 			case st.Stall:
 				if p.stallStart == 0 {
 					p.stallStart = now
+				}
+				if nm != nil {
+					nm.PolicyStalls[r.NodeID]++
 				}
 			default:
 				if st.Out >= numOutPorts {
@@ -185,11 +220,22 @@ func (r *Router) Tick(now int64) {
 	// teardown chasing the reply that just built a virtual link) can
 	// then never overtake that packet onto the link, which the
 	// in-network protocol's correctness argument requires.
+	nSlots := numInPorts * m.VCCount
 	for out := 0; out < numOutPorts; out++ {
 		if r.busyTill[out] > now {
+			if nm != nil {
+				// The link is still serializing a previous packet's
+				// flits: charge routed heads waiting for it.
+				for slot := 0; slot < nSlots; slot++ {
+					h := r.in[slot/m.VCCount][slot%m.VCCount].head()
+					if h != nil && h.pkt.routed && h.pkt.outPort == Dir(out) {
+						h.pkt.serialWait++
+						nm.SerialWait[nm.OutIdx(r.NodeID, out)]++
+					}
+				}
+			}
 			continue
 		}
-		nSlots := numInPorts * m.VCCount
 		granted := -1
 		var bestSeq uint64
 		for slot := 0; slot < nSlots; slot++ {
@@ -211,11 +257,19 @@ func (r *Router) Tick(now int64) {
 		p := e.pkt
 		p.routed = false
 		r.busyTill[out] = now + int64(p.Flits)
+		if nm != nil {
+			oi := nm.OutIdx(r.NodeID, out)
+			nm.Grants[oi]++
+			nm.LinkBusy[oi] += int64(p.Flits)
+		}
 		if Dir(out) == Local {
 			m.kernel.Schedule(1, func() {
 				m.InFlight--
 				m.DeliveredPackets++
 				m.TotalHops += int64(p.Hops)
+				if m.DeliverFn != nil {
+					m.DeliverFn(p, false, m.kernelNow())
+				}
 				m.EjectFn(r.NodeID, p, m.kernelNow())
 			})
 			continue

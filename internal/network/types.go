@@ -115,7 +115,15 @@ type Packet struct {
 	// stallStart is the cycle the packet first stalled at this router,
 	// for the protocol's timeout-based deadlock recovery.
 	stallStart int64
+	// serialWait accumulates cycles this packet's head spent routed but
+	// waiting for its output link to finish serializing a previous
+	// packet's flits. Only charged when mesh metrics are enabled.
+	serialWait int64
 }
+
+// SerialWait returns the accumulated link-serialization wait, for the
+// metrics latency decomposition. Zero unless mesh metrics are enabled.
+func (p *Packet) SerialWait() int64 { return p.serialWait }
 
 // StallCycles returns how long the packet has been stalled at the current
 // router, or 0 if it is not stalled.

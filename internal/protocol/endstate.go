@@ -1,0 +1,27 @@
+package protocol
+
+import "innetcc/internal/verify"
+
+// EndState captures the machine's post-run coherence state — committed
+// versions, memory contents and every valid L2 copy — for differential
+// comparison between coherence engines run over the same trace.
+func (m *Machine) EndState(name string) *verify.EndState {
+	es := verify.NewEndState(name)
+	for addr, v := range m.Check.VersionSnapshot() {
+		es.SetCommitted(addr, v)
+	}
+	for addr, v := range m.Mem.Snapshot() {
+		es.SetMemory(addr, v)
+	}
+	for _, n := range m.Nodes {
+		n.L2.ScanAll(func(addr uint64, dl *DataLine) bool {
+			es.AddCopy(addr, verify.Copy{
+				Node:     n.ID,
+				Version:  dl.Version,
+				Modified: dl.State == Modified,
+			})
+			return true
+		})
+	}
+	return es
+}

@@ -6,6 +6,7 @@ import (
 
 	"innetcc/internal/cache"
 	"innetcc/internal/memory"
+	"innetcc/internal/metrics"
 	"innetcc/internal/network"
 	"innetcc/internal/sim"
 	"innetcc/internal/stats"
@@ -102,9 +103,25 @@ type Machine struct {
 	ReadSamples  *stats.Sampler
 	WriteSamples *stats.Sampler
 
+	// Metrics, when non-nil, enables the cycle-level observability layer.
+	// It must be set before the engine is attached (AttachEngine wires the
+	// mesh-side instrumentation from it). A nil collector is the
+	// statistically-free disabled path.
+	Metrics *metrics.Collector
+
 	think   int64
 	engine  Engine
 	nicBusy []int64
+	// accNet accumulates, per node, the network time of the packets
+	// serving the node's outstanding access (for the latency breakdown).
+	accNet []netAcc
+}
+
+// netAcc is the per-outstanding-access network time attribution: total
+// in-network cycles, the analytic contention-free traversal minimum, and the
+// measured link-serialization wait.
+type netAcc struct {
+	net, trav, serial int64
 }
 
 // NewMachine builds a machine for the given configuration and trace. think
@@ -129,6 +146,7 @@ func NewMachine(cfg Config, tr *trace.Trace, think int64) (*Machine, error) {
 		HomeCounts: make([]int64, cfg.Nodes()),
 		think:      think,
 		nicBusy:    make([]int64, cfg.Nodes()),
+		accNet:     make([]netAcc, cfg.Nodes()),
 	}
 	for i := 0; i < cfg.Nodes(); i++ {
 		m.Nodes = append(m.Nodes, &Node{
@@ -148,6 +166,11 @@ func (m *Machine) AttachEngine(e Engine, mesh *network.Mesh) {
 	m.engine = e
 	m.Mesh = mesh
 	mesh.EjectFn = e.Eject
+	if c := m.Metrics; c != nil {
+		c.NoC = metrics.NewNoC(mesh.Nodes(), mesh.InPorts(), mesh.OutPorts(), mesh.VCCount)
+		mesh.Metrics = c.NoC
+		mesh.DeliverFn = m.observeDelivery
+	}
 }
 
 // Engine returns the attached coherence engine.
@@ -156,6 +179,14 @@ func (m *Machine) Engine() Engine { return m.engine }
 // Tick implements sim.Ticker: each cycle every idle CPU considers issuing
 // its next access.
 func (m *Machine) Tick(now int64) {
+	if c := m.Metrics; c != nil && c.SampleDue(now) {
+		c.InFlight.Observe(now, float64(m.Mesh.InFlight))
+		if g, ok := m.engine.(metrics.GaugeSource); ok {
+			occ, depth := g.MetricsGauges()
+			c.Occupancy.Observe(now, float64(occ))
+			c.QueueDepth.Observe(now, float64(depth))
+		}
+	}
 	for _, n := range m.Nodes {
 		if n.outstanding || n.idx >= len(n.stream) || now < n.nextIssue {
 			continue
@@ -184,6 +215,13 @@ func (m *Machine) Tick(now int64) {
 		n.outstanding = true
 		n.issueAt = now
 		m.HomeCounts[m.Cfg.Home(acc.Addr)]++
+		if c := m.Metrics; c != nil {
+			aux := int64(0)
+			if acc.Write {
+				aux = 1
+			}
+			c.Event(now, metrics.EvInject, int16(n.ID), acc.Addr, aux)
+		}
 		m.engine.StartMiss(n.ID, acc.Addr, acc.Write, now)
 	}
 }
@@ -215,9 +253,59 @@ func (m *Machine) CompleteAccess(node int, write bool, now, deadlockCycles int64
 	if deadlockCycles > 0 {
 		m.Lat.RecordDeadlock(write, deadlockCycles)
 	}
+	if c := m.Metrics; c != nil {
+		lat := now - n.issueAt
+		a := m.accNet[node]
+		c.Breakdown.Record(write, lat, a.net, a.trav, a.serial)
+		var addr uint64
+		if acc, ok := n.Pending(); ok {
+			addr = acc.Addr
+		}
+		c.Event(now, metrics.EvComplete, int16(node), addr, lat)
+		m.accNet[node] = netAcc{}
+	}
 	n.outstanding = false
 	n.idx++
 	n.nextIssue = now + m.thinkTime(n)
+}
+
+// observeDelivery is the mesh DeliverFn when metrics are enabled: it
+// attributes each delivered packet's network time to the requester whose
+// outstanding access it serves. Only the serial request/reply chain is
+// attributed (RdReq, WrReq, Fwd, FwdMiss, RdReply, WrReply); parallel
+// traffic — invalidations, acknowledgments, teardowns — overlaps the chain
+// in time and its transit lands in the controller-service residual instead.
+func (m *Machine) observeDelivery(p *network.Packet, consumed bool, now int64) {
+	msg, ok := p.Payload.(*Msg)
+	if !ok {
+		return
+	}
+	switch msg.Type {
+	case RdReq, WrReq, Fwd, FwdMiss, RdReply, WrReply:
+	default:
+		return
+	}
+	req := msg.Requester
+	if req < 0 || req >= len(m.Nodes) || !m.Nodes[req].outstanding {
+		return
+	}
+	// Contention-free minimum for the path actually taken: each of the
+	// hops+1 routers costs pipeline (+ extra hop delay) cycles plus one
+	// cycle on the following link or the ejection hand-off. Expedited
+	// continuations skip their spawning router's pipeline; in-network
+	// consumption skips the ejection cycle.
+	per := m.Mesh.Pipeline + m.Mesh.Routers[0].ExtraHopDelay + 1
+	trav := int64(p.Hops+1) * per
+	if p.Expedited {
+		trav -= per - 1
+	}
+	if consumed {
+		trav--
+	}
+	a := &m.accNet[req]
+	a.net += now - p.InjectedAt
+	a.trav += trav
+	a.serial += p.SerialWait()
 }
 
 // NICSchedule runs fn after a service-time occupancy of node's network
@@ -344,7 +432,11 @@ func (m *Machine) Run(maxCycles int64) error {
 	if m.engine == nil {
 		return fmt.Errorf("protocol: no engine attached")
 	}
-	if !m.Kernel.RunUntil(m.Quiesced, maxCycles) {
+	done := m.Kernel.RunUntil(m.Quiesced, maxCycles)
+	if c := m.Metrics; c != nil && c.NoC != nil {
+		c.NoC.Cycles = m.Kernel.Now()
+	}
+	if !done {
 		return fmt.Errorf("protocol: stuck after %d cycles: %s", m.Kernel.Now(), m.stuckReport())
 	}
 	if v := m.Check.Violations(); len(v) > 0 {

@@ -51,6 +51,11 @@ func sanitizeName(s string) string {
 	return strings.ReplaceAll(s, " ", "_")
 }
 
+// MaxFileNodes bounds the node count a trace file may declare. Without it a
+// corrupt or hostile header ("trace x 999999999999") would size the per-node
+// slice table before a single record is parsed.
+const MaxFileNodes = 1 << 16
+
 // Read parses a trace from r. It validates node indices and access
 // operations and returns a descriptive error with the offending line
 // number.
@@ -71,7 +76,7 @@ func Read(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("trace: line %d: expected header \"trace <name> <nodes>\"", lineNo)
 			}
 			nodes, err := strconv.Atoi(fields[2])
-			if err != nil || nodes <= 0 {
+			if err != nil || nodes <= 0 || nodes > MaxFileNodes {
 				return nil, fmt.Errorf("trace: line %d: bad node count %q", lineNo, fields[2])
 			}
 			tr = &Trace{Name: fields[1], PerNode: make([][]Access, nodes)}

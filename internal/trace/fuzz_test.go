@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead fuzzes the trace-file parser. Two properties are enforced on
+// every input:
+//
+//  1. Read never panics and never allocates proportionally to unvalidated
+//     header fields (the MaxFileNodes bound; the committed corpus includes
+//     a "trace x 99999999999999" allocation-bomb header).
+//  2. Round-trip stability: any input Read accepts must survive
+//     Write→Read with an identical structure (same node count, same
+//     per-node access streams; the name may differ only by sanitization).
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		// Valid minimal trace.
+		"trace t 2\n0 R 10\n1 W ff\n",
+		// Comments, blank lines, lowercase ops.
+		"# header comment\n\ntrace bench 4\n0 r 0\n3 w deadbeef\n# tail\n",
+		// Allocation bomb: huge declared node count, no records.
+		"trace x 99999999999999\n",
+		"trace x 1000000000\n0 R 1\n",
+		// Corrupt headers.
+		"trace\n",
+		"race t 2\n0 R 10\n",
+		"trace t -3\n",
+		"trace t 0\n",
+		// Record defects: out-of-range node, bad op, bad address, short line.
+		"trace t 2\n7 R 10\n",
+		"trace t 2\n0 X 10\n",
+		"trace t 2\n0 R zz\n",
+		"trace t 2\n0 R\n",
+		// Empty and comment-only inputs.
+		"",
+		"# nothing\n\n",
+		// Name requiring sanitization survives a round trip.
+		"trace a 1\n0 W 8\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if tr == nil {
+			t.Fatal("Read returned nil trace without error")
+		}
+		if len(tr.PerNode) == 0 || len(tr.PerNode) > MaxFileNodes {
+			t.Fatalf("accepted trace with %d nodes", len(tr.PerNode))
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("Write of accepted trace failed: %v", err)
+		}
+		rt, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip Read failed: %v\ninput: %q\nwritten: %q", err, data, buf.Bytes())
+		}
+		if got, want := len(rt.PerNode), len(tr.PerNode); got != want {
+			t.Fatalf("round-trip node count %d, want %d", got, want)
+		}
+		if got, want := rt.Name, sanitizeName(tr.Name); got != want &&
+			// Write sanitizes spaces; a name containing other whitespace
+			// already cannot appear: Fields-split parsing forbids it.
+			!strings.EqualFold(got, want) {
+			t.Fatalf("round-trip name %q, want %q", got, want)
+		}
+		for n := range tr.PerNode {
+			a, b := tr.PerNode[n], rt.PerNode[n]
+			if len(a) != len(b) {
+				t.Fatalf("node %d: round-trip stream length %d, want %d", n, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("node %d access %d: round-trip %+v, want %+v", n, i, b[i], a[i])
+				}
+			}
+		}
+	})
+}

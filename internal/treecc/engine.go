@@ -2,6 +2,7 @@ package treecc
 
 import (
 	"innetcc/internal/cache"
+	"innetcc/internal/metrics"
 	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 )
@@ -175,6 +176,14 @@ func (e *Engine) serveRead(node int, msg *protocol.Msg) {
 		}
 		e.m.Check.SampleRead(addr, dl.Version, e.m.Mem.Peek(addr), msg.Requester, now)
 		e.m.Counters.Inc("tree.sharer_serves", 1)
+		if e.m.Metrics != nil {
+			// Hops saved versus routing the request to the home node
+			// (can be negative when the serving sharer is farther).
+			saved := int64(network.HopDist(e.m.Cfg.MeshW, msg.Requester, e.home(addr)) -
+				network.HopDist(e.m.Cfg.MeshW, msg.Requester, node))
+			e.m.Metrics.Add(metrics.CHopsSaved, saved)
+			e.m.Metrics.Event(now, metrics.EvSharerServe, int16(node), addr, saved)
+		}
 		reply := &protocol.Msg{Type: protocol.RdReply, Addr: addr, Requester: msg.Requester,
 			Version: dl.Version, IssuedAt: msg.IssuedAt, DeadlockCycles: msg.DeadlockCycles}
 		e.m.Mesh.Spawn(node, e.packet(node, reply), now)
@@ -318,6 +327,16 @@ func (e *Engine) OnL2Evict(node int, addr uint64, dl protocol.DataLine, now int6
 // Quiesced implements protocol.Engine.
 func (e *Engine) Quiesced() bool { return e.queued == 0 }
 
+// MetricsGauges implements metrics.GaugeSource: total live tree-cache lines
+// across all routers, and the queued-request backlog (home queue + pending
+// serialization + backoff waits).
+func (e *Engine) MetricsGauges() (occupancy, queueDepth int) {
+	for _, t := range e.trees {
+		occupancy += t.Len()
+	}
+	return occupancy, e.queued
+}
+
 // --- pending / home-queue management -----------------------------------
 
 func (e *Engine) setPending(addr uint64) {
@@ -347,6 +366,7 @@ func (e *Engine) releasePending(addr uint64, home int) {
 func (e *Engine) queueAtHome(addr uint64, msg *protocol.Msg) {
 	e.homeQueue[addr] = append(e.homeQueue[addr], msg)
 	e.queued++
+	e.m.Metrics.Event(e.m.Kernel.Now(), metrics.EvHomeQueued, int16(e.home(addr)), addr, int64(msg.Requester))
 }
 
 // teardownComplete runs when the home node's last virtual link clears: the
@@ -365,6 +385,7 @@ func (e *Engine) teardownComplete(addr uint64) {
 	e.m.Counters.Inc("tree.teardowns_completed", 1)
 	waiters := e.homeQueue[addr]
 	delete(e.homeQueue, addr)
+	e.m.Metrics.Event(now, metrics.EvTeardownComplete, int16(home), addr, int64(len(waiters)))
 	if len(waiters) == 0 {
 		return
 	}
@@ -375,6 +396,11 @@ func (e *Engine) teardownComplete(addr uint64) {
 	e.queued--
 	e.setPending(addr)
 	first.HomeServe = true
+	if e.m.Metrics != nil {
+		for _, w := range waiters {
+			e.m.Metrics.Event(now, metrics.EvHomeDrained, int16(home), addr, int64(w.Requester))
+		}
+	}
 	e.m.Kernel.Schedule(1, func() {
 		if first.Type == protocol.WrReq {
 			e.grantWrite(home, first)

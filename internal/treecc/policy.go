@@ -3,6 +3,7 @@ package treecc
 import (
 	"fmt"
 
+	"innetcc/internal/metrics"
 	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 )
@@ -67,6 +68,7 @@ func (e *Engine) consumeToBackoff(home int, msg *protocol.Msg) network.Steer {
 	msg.DeadlockCycles += delay
 	e.queued++
 	e.m.Counters.Inc("tree.backoffs", 1)
+	e.m.Metrics.Event(e.m.Kernel.Now(), metrics.EvBackoff, int16(home), msg.Addr, delay)
 	e.m.Kernel.Schedule(delay, func() {
 		e.queued--
 		e.m.Mesh.Spawn(home, e.packet(home, msg), e.m.Kernel.Now())
@@ -83,6 +85,15 @@ func (e *Engine) routeReadReq(r *network.Router, p *network.Packet, msg *protoco
 		return e.consumeToBackoff(home, msg)
 	}
 	line, ok := e.trees[n].Lookup(addr)
+	if c := e.m.Metrics; c != nil {
+		if ok && !line.Touched {
+			c.Add(metrics.CTreeHit, 1)
+			c.Event(now, metrics.EvTreeHit, int16(n), addr, int64(msg.Requester))
+		} else {
+			c.Add(metrics.CTreeMiss, 1)
+			c.Event(now, metrics.EvTreeMiss, int16(n), addr, int64(msg.Requester))
+		}
+	}
 	if ok && !line.Touched {
 		if line.LocalValid {
 			// Valid data here: terminate in-transit, serve above
@@ -91,6 +102,8 @@ func (e *Engine) routeReadReq(r *network.Router, p *network.Packet, msg *protoco
 		}
 		if !line.IsRoot && line.RootDir < network.NumMeshDirs && line.Links[line.RootDir] {
 			// Part of the tree without data: steer toward the root.
+			e.m.Metrics.Add(metrics.CTreeBump, 1)
+			e.m.Metrics.Event(now, metrics.EvBump, int16(n), addr, int64(msg.Requester))
 			return network.Steer{Out: line.RootDir}
 		}
 		// Degenerate line (root without data, or dangling root
@@ -133,6 +146,15 @@ func (e *Engine) routeWriteReq(r *network.Router, p *network.Packet, msg *protoc
 		return e.consumeToBackoff(home, msg)
 	}
 	line, ok := e.trees[n].Lookup(addr)
+	if c := e.m.Metrics; c != nil {
+		if ok && !line.Touched {
+			c.Add(metrics.CTreeHit, 1)
+			c.Event(now, metrics.EvTreeHit, int16(n), addr, int64(msg.Requester))
+		} else {
+			c.Add(metrics.CTreeMiss, 1)
+			c.Event(now, metrics.EvTreeMiss, int16(n), addr, int64(msg.Requester))
+		}
+	}
 	if n == home {
 		if _, pend := e.pending[addr]; pend {
 			e.queueOnPending(addr, msg)
@@ -168,6 +190,7 @@ func (e *Engine) routeWriteReq(r *network.Router, p *network.Packet, msg *protoc
 		// in-transit (the paper's Figure 1(b) optimization).
 		spawns = e.processTeardown(n, addr, network.DirNone, false)
 		e.m.Counters.Inc("tree.write_bumps", 1)
+		e.m.Metrics.Event(now, metrics.EvBump, int16(n), addr, int64(msg.Requester))
 	} else if !ok && e.m.Cfg.ProactiveEviction && !e.trees[n].HasFreeWay(addr) {
 		// Proactive eviction: the set this line would occupy is full,
 		// so tear down its LRU tree now to spare the reply the wait.
@@ -176,6 +199,7 @@ func (e *Engine) routeWriteReq(r *network.Router, p *network.Packet, msg *protoc
 		}); found {
 			spawns = e.processTeardown(n, vaddr, network.DirNone, false)
 			e.m.Counters.Inc("tree.proactive_evictions", 1)
+			e.m.Metrics.Event(now, metrics.EvProactiveEvict, int16(n), vaddr, int64(msg.Requester))
 		}
 	}
 	return network.Steer{Out: network.XYTo(e.m.Cfg.MeshW, n, home), Spawn: spawns}
@@ -415,6 +439,7 @@ func (e *Engine) stallReply(r *network.Router, p *network.Packet, msg *protocol.
 		}); found {
 			spawns = e.processTeardown(n, vaddr, network.DirNone, false)
 			e.m.Counters.Inc("tree.conflict_evictions", 1)
+			e.m.Metrics.Event(now, metrics.EvConflictEvict, int16(n), vaddr, int64(msg.Requester))
 		}
 	}
 	return network.Steer{Stall: true, Spawn: spawns}
@@ -426,6 +451,7 @@ func (e *Engine) stallReply(r *network.Router, p *network.Packet, msg *protocol.
 // backoff.
 func (e *Engine) abortReply(n int, p *network.Packet, msg *protocol.Msg, now int64) network.Steer {
 	e.m.Counters.Inc("tree.deadlock_aborts", 1)
+	e.m.Metrics.Event(now, metrics.EvDeadlockAbort, int16(n), msg.Addr, int64(msg.Requester))
 	if p.ArrivalDir == network.Local && msg.RequesterIsRoot {
 		// A fresh reply giving up before it ever anchored the home's
 		// tree line: lift the home-serve serialization marker so the

@@ -1,6 +1,7 @@
 package treecc
 
 import (
+	"innetcc/internal/metrics"
 	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 )
@@ -70,6 +71,7 @@ func (e *Engine) processTeardown(node int, addr uint64, arrival network.Dir, cle
 	line.Touched = true
 	e.debugf(addr, "teardown touch n%d arrival=%v links=%v lv=%v isRoot=%v", node, arrival, line.Links, line.LocalValid, line.IsRoot)
 	e.m.Counters.Inc("tree.teardowns", 1)
+	e.m.Metrics.Event(e.m.Kernel.Now(), metrics.EvTeardown, int16(node), addr, int64(line.LinkCount()))
 	// Invalidate the local data copy (D$: -> Invalid); the root's data is
 	// captured for victim caching at the home node.
 	if line.LocalValid {

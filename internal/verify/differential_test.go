@@ -1,0 +1,124 @@
+package verify_test
+
+import (
+	"testing"
+
+	"innetcc/internal/directory"
+	"innetcc/internal/protocol"
+	"innetcc/internal/trace"
+	"innetcc/internal/treecc"
+	"innetcc/internal/verify"
+)
+
+// runEngine drives one coherence engine over a deterministic trace to
+// quiescence and captures its end state. Both engines of a differential
+// pair are handed the same config, profile and seed, so they execute the
+// identical access stream.
+func runEngine(t *testing.T, proto string, p trace.Profile, accesses int, seed uint64) *verify.EndState {
+	t.Helper()
+	cfg := protocol.DefaultConfig()
+	cfg.Seed = seed
+	tr := trace.Generate(p, cfg.Nodes(), accesses, seed)
+	m, err := protocol.NewMachine(cfg, tr, p.Think)
+	if err != nil {
+		t.Fatalf("%s/%s: NewMachine: %v", proto, p.Name, err)
+	}
+	switch proto {
+	case "dir":
+		directory.New(m)
+	case "tree":
+		treecc.New(m)
+	default:
+		t.Fatalf("unknown proto %q", proto)
+	}
+	if err := m.Run(20_000_000); err != nil {
+		t.Fatalf("%s/%s: run: %v", proto, p.Name, err)
+	}
+	if v := m.Check.Violations(); len(v) > 0 {
+		t.Fatalf("%s/%s: runtime violations: %v", proto, p.Name, v)
+	}
+	return m.EndState(proto + "/" + p.Name)
+}
+
+// TestEnginesReachEquivalentEndState differentially verifies the two
+// coherence engines over every trace profile: run to quiescence on the
+// identical access stream, both must pass the end-state self-checks and
+// agree exactly on the committed-version map (the part of the end state
+// that is a pure function of the trace).
+func TestEnginesReachEquivalentEndState(t *testing.T) {
+	const accesses, seed = 120, 42
+	for _, p := range trace.Benchmarks() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			dir := runEngine(t, "dir", p, accesses, seed)
+			tree := runEngine(t, "tree", p, accesses, seed)
+			if dir.Committed == nil || len(dir.Committed) == 0 {
+				t.Fatalf("dir/%s committed nothing; differential test is vacuous", p.Name)
+			}
+			for _, d := range verify.Equivalent(dir, tree) {
+				t.Error(d)
+			}
+		})
+	}
+}
+
+// TestEndStateSelfCheckCatches proves the harness detects each class of
+// corruption it claims to: lost committed versions, stale Modified copies,
+// duplicate writers, and versions beyond the committed bound.
+func TestEndStateSelfCheckCatches(t *testing.T) {
+	clean := func() *verify.EndState {
+		s := verify.NewEndState("x")
+		s.SetCommitted(8, 3)
+		s.SetMemory(8, 2)
+		s.AddCopy(8, verify.Copy{Node: 1, Version: 3, Modified: true})
+		return s
+	}
+	if errs := clean().SelfCheck(); len(errs) != 0 {
+		t.Fatalf("clean state flagged: %v", errs)
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(*verify.EndState)
+	}{
+		{"memory beyond committed", func(s *verify.EndState) { s.SetMemory(8, 9) }},
+		{"copy beyond committed", func(s *verify.EndState) { s.AddCopy(8, verify.Copy{Node: 2, Version: 7}) }},
+		{"stale modified copy", func(s *verify.EndState) {
+			s.Copies[8] = []verify.Copy{{Node: 1, Version: 2, Modified: true}}
+			s.SetMemory(8, 3)
+		}},
+		{"two modified copies", func(s *verify.EndState) {
+			s.AddCopy(8, verify.Copy{Node: 2, Version: 3, Modified: true})
+		}},
+		{"committed version lost", func(s *verify.EndState) {
+			s.Copies[8] = nil // memory holds 2, committed 3 is nowhere
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := clean()
+			tc.corrupt(s)
+			if errs := s.SelfCheck(); len(errs) == 0 {
+				t.Fatal("corruption not flagged")
+			}
+		})
+	}
+}
+
+// TestEquivalentFlagsCommitDivergence proves the differential comparison
+// detects engines that disagree on what the trace committed.
+func TestEquivalentFlagsCommitDivergence(t *testing.T) {
+	a := verify.NewEndState("a")
+	a.SetCommitted(8, 3)
+	a.SetMemory(8, 3)
+	b := verify.NewEndState("b")
+	b.SetCommitted(8, 2)
+	b.SetMemory(8, 2)
+	b.SetCommitted(16, 1)
+	b.SetMemory(16, 1)
+	errs := verify.Equivalent(a, b)
+	if len(errs) != 2 {
+		t.Fatalf("want 2 discrepancies (version mismatch + missing line), got %d: %v", len(errs), errs)
+	}
+}

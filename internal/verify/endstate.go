@@ -1,0 +1,136 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EndState captures a machine's coherence state at quiescence — committed
+// versions, main-memory contents and every valid cached copy — in a form
+// two engines can be differentially compared in: the committed-version map
+// is a pure function of the access trace, so a directory run and a tree run
+// over the same trace must agree on it exactly, while memory contents and
+// copy placement may legitimately differ (they depend on timing).
+type EndState struct {
+	// Name labels the run in failure messages ("dir/bar", "tree/bar").
+	Name string
+
+	// Committed is the final committed version per line (from the
+	// checker's write serialization).
+	Committed map[uint64]uint64
+
+	// Memory is main memory's version per line (lines never written back
+	// are absent and read as zero).
+	Memory map[uint64]uint64
+
+	// Copies lists the valid cached copies per line.
+	Copies map[uint64][]Copy
+}
+
+// Copy is one valid cached line copy.
+type Copy struct {
+	Node     int
+	Version  uint64
+	Modified bool
+}
+
+// NewEndState returns an empty end state.
+func NewEndState(name string) *EndState {
+	return &EndState{
+		Name:      name,
+		Committed: make(map[uint64]uint64),
+		Memory:    make(map[uint64]uint64),
+		Copies:    make(map[uint64][]Copy),
+	}
+}
+
+// SetCommitted records a line's final committed version (zero versions,
+// i.e. never-written lines, are skipped).
+func (s *EndState) SetCommitted(addr, v uint64) {
+	if v != 0 {
+		s.Committed[addr] = v
+	}
+}
+
+// SetMemory records main memory's version for a line (zero skipped: it is
+// the implicit initial state of all of memory).
+func (s *EndState) SetMemory(addr, v uint64) {
+	if v != 0 {
+		s.Memory[addr] = v
+	}
+}
+
+// AddCopy records a valid cached copy.
+func (s *EndState) AddCopy(addr uint64, c Copy) {
+	s.Copies[addr] = append(s.Copies[addr], c)
+}
+
+// SelfCheck validates the single-run invariants every engine must satisfy
+// at quiescence, returning one message per violation:
+//
+//   - no line's memory version exceeds its committed version;
+//   - no cached copy's version exceeds its committed version;
+//   - a Modified copy holds exactly the committed version, and at most one
+//     Modified copy exists per line;
+//   - the committed version of every written line is resident somewhere —
+//     in main memory or in some valid copy (nothing committed is lost).
+func (s *EndState) SelfCheck() []string {
+	var out []string
+	f := func(format string, args ...interface{}) {
+		out = append(out, s.Name+": "+fmt.Sprintf(format, args...))
+	}
+	for addr, v := range s.Memory {
+		if v > s.Committed[addr] {
+			f("memory holds %#x version %d beyond committed %d", addr, v, s.Committed[addr])
+		}
+	}
+	for addr, copies := range s.Copies {
+		modified := 0
+		for _, c := range copies {
+			if c.Version > s.Committed[addr] {
+				f("node %d copy of %#x holds version %d beyond committed %d", c.Node, addr, c.Version, s.Committed[addr])
+			}
+			if c.Modified {
+				modified++
+				if c.Version != s.Committed[addr] {
+					f("node %d Modified copy of %#x holds version %d, committed is %d", c.Node, addr, c.Version, s.Committed[addr])
+				}
+			}
+		}
+		if modified > 1 {
+			f("%d Modified copies of %#x", modified, addr)
+		}
+	}
+	for addr, v := range s.Committed {
+		resident := s.Memory[addr] == v
+		for _, c := range s.Copies[addr] {
+			resident = resident || c.Version == v
+		}
+		if !resident {
+			f("committed version %d of %#x resident nowhere (memory %d)", v, addr, s.Memory[addr])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equivalent differentially compares two runs over the same trace: both
+// must pass SelfCheck, and their committed-version maps must be identical —
+// same set of written lines, same final version per line. It returns one
+// message per discrepancy (empty means equivalent).
+func Equivalent(a, b *EndState) []string {
+	out := append(a.SelfCheck(), b.SelfCheck()...)
+	for addr, av := range a.Committed {
+		if bv, ok := b.Committed[addr]; !ok {
+			out = append(out, fmt.Sprintf("%s committed %#x (version %d); %s never wrote it", a.Name, addr, av, b.Name))
+		} else if av != bv {
+			out = append(out, fmt.Sprintf("line %#x committed version %d in %s but %d in %s", addr, av, a.Name, bv, b.Name))
+		}
+	}
+	for addr, bv := range b.Committed {
+		if _, ok := a.Committed[addr]; !ok {
+			out = append(out, fmt.Sprintf("%s committed %#x (version %d); %s never wrote it", b.Name, addr, bv, a.Name))
+		}
+	}
+	return out
+}

@@ -78,6 +78,18 @@ func (c *Checker) Order() []AccessRecord { return c.order }
 // CurrentVersion returns the last committed version of addr.
 func (c *Checker) CurrentVersion(addr uint64) uint64 { return c.version[addr] }
 
+// VersionSnapshot returns a copy of the committed-version map: every line
+// ever written, with its final committed version. Because each write access
+// commits exactly once, the snapshot is a pure function of the access trace
+// and must be identical across coherence engines run over the same trace.
+func (c *Checker) VersionSnapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(c.version))
+	for a, v := range c.version {
+		out[a] = v
+	}
+	return out
+}
+
 // RegisterCopy records that node now holds a valid cached copy of addr.
 func (c *Checker) RegisterCopy(addr uint64, node int) {
 	m := c.copies[addr]

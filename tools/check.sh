@@ -1,6 +1,8 @@
 #!/bin/sh
-# Repository check: build, vet, race-enabled tests. CI runs exactly this
-# script (.github/workflows/ci.yml) so local and CI results agree.
+# Repository check: build, vet, race-enabled tests, a fuzz smoke pass over
+# the trace-file parser, and a race-enabled metrics-instrumented experiment
+# run. CI runs exactly this script (.github/workflows/ci.yml) so local and
+# CI results agree.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -14,3 +16,12 @@ fi
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Fuzz smoke: a short randomized session over the trace-file parser on top
+# of the committed regression corpus (testdata/fuzz/FuzzRead).
+go test ./internal/trace -fuzz '^FuzzRead$' -fuzztime 10s
+
+# Observability smoke under the race detector: one metrics-instrumented
+# experiment across parallel workers, with CSV export and flight dumping.
+go run -race ./cmd/innetcc -exp fig5 -accesses 80 -jobs 4 -metrics \
+    -metrics-out "$(mktemp -d)/metrics.csv" -flight-dump >/dev/null
