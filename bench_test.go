@@ -18,13 +18,63 @@ import (
 	"innetcc/internal/cacti"
 	"innetcc/internal/experiments"
 	"innetcc/internal/mcheck"
+	"innetcc/internal/protocol"
+	"innetcc/internal/trace"
+
+	// Engine builder registration for the kernel benchmarks below.
+	_ "innetcc/internal/directory"
+	_ "innetcc/internal/treecc"
 )
 
 func benchOpts() experiments.Options {
-	// Jobs 0 = all cores; the per-job seed derivation keeps results
-	// identical to any other parallelism level.
-	return experiments.Options{AccessesPerNode: 200, AccessesPerNode64: 60, Seed: 42, Jobs: 0}
+	// Reduced trace lengths so the full set completes in minutes; Jobs 0 =
+	// all cores (the per-job seed derivation keeps results identical to
+	// any other parallelism level). WithDefaults fills the suite seed.
+	return experiments.Options{AccessesPerNode: 200, AccessesPerNode64: 60}.WithDefaults()
 }
+
+// kernelMeshRun executes one 64-node (8x8 mesh) Figure-9-style simulation —
+// the low-injection regime where most routers idle most cycles — under the
+// active-set kernel or the exhaustive always-tick kernel. It is the
+// workload behind the BENCH_kernel.json baseline: the ratio of the two
+// timings is the active-set speedup.
+func kernelMeshRun(b *testing.B, alwaysTick bool) {
+	p, err := trace.ProfileByName("bar")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Think = 200 // long think time = low injection rate, the idle-heavy regime
+	cfg := protocol.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 8, 8
+	cfg.Seed = 42
+	tr := trace.Generate(p, cfg.Nodes(), 120, cfg.Seed)
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		m, err := protocol.Build(protocol.Spec{
+			Config: cfg, Trace: tr, Think: p.Think,
+			Engine: protocol.KindTree, AlwaysTick: alwaysTick,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(200_000_000); err != nil {
+			b.Fatal(err)
+		}
+		cycles = m.Kernel.Now()
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// BenchmarkKernelIdleMesh is the active-set kernel baseline: 64 nodes at
+// low injection, idle components parked and skipped. CI's bench-smoke step
+// records it (with the always-tick control below) in BENCH_kernel.json.
+func BenchmarkKernelIdleMesh(b *testing.B) { kernelMeshRun(b, false) }
+
+// BenchmarkKernelIdleMeshAlwaysTick is the control: the identical
+// simulation with parking disabled, every ticker ticked every cycle. Its
+// time divided by BenchmarkKernelIdleMesh's is the measured speedup.
+func BenchmarkKernelIdleMeshAlwaysTick(b *testing.B) { kernelMeshRun(b, true) }
 
 // BenchmarkHopCountStudy regenerates the Section 1 oracle hop-count
 // characterization (paper: reads -19.7%, writes -17.3% on average).

@@ -38,6 +38,7 @@ import (
 
 	"innetcc/internal/experiments"
 	"innetcc/internal/mcheck"
+	"innetcc/internal/protocol"
 )
 
 // experiment is one registry entry: a runnable table/figure driver with the
@@ -68,9 +69,9 @@ var registry = []experiment{
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (\"all\" or a name from -list)")
 	list := flag.Bool("list", false, "list all experiments with descriptions and exit")
-	accesses := flag.Int("accesses", 400, "trace accesses per node (16-node experiments)")
-	accesses64 := flag.Int("accesses64", 120, "trace accesses per node (64-node experiments)")
-	seed := flag.Uint64("seed", 42, "experiment suite seed (per-job seeds derive from it)")
+	accesses := flag.Int("accesses", 0, "trace accesses per node, 16-node experiments (0 = default)")
+	accesses64 := flag.Int("accesses64", 0, "trace accesses per node, 64-node experiments (0 = default)")
+	seed := flag.Uint64("seed", 0, "experiment suite seed, per-job seeds derive from it (0 = default)")
 	jobs := flag.Int("jobs", 0, "simulation worker parallelism (0 = all cores); results are identical at any setting")
 	cacheDir := flag.String("cache", "", "on-disk result cache directory (empty = caching off)")
 	metricsOn := flag.Bool("metrics", false, "attach the cycle-level observability layer and print per-job metric tables")
@@ -90,6 +91,10 @@ func main() {
 		CacheDir:          *cacheDir,
 		Metrics:           *metricsOn || *metricsOut != "" || *flightDump,
 		FlightDump:        *flightDump,
+	}.WithDefaults()
+	if err := opt.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "innetcc:", err)
+		os.Exit(1)
 	}
 	if err := run(os.Stdout, *exp, opt, *metricsOut, *flightDump); err != nil {
 		fmt.Fprintln(os.Stderr, "innetcc:", err)
@@ -101,6 +106,10 @@ func printList(w io.Writer) {
 	fmt.Fprintln(w, "experiments (run with -exp <name>, or -exp all):")
 	for _, e := range registry {
 		fmt.Fprintf(w, "  %-10s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintln(w, "coherence engines:")
+	for _, k := range protocol.EngineKinds() {
+		fmt.Fprintf(w, "  %-10s %s\n", k, k.Describe())
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"innetcc/internal/cacti"
 	"innetcc/internal/exec"
+	"innetcc/internal/experiments"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
 )
@@ -29,6 +30,7 @@ func main() {
 	grid := []struct{ entries, ways int }{
 		{1024, 4}, {2048, 4}, {4096, 1}, {4096, 4}, {4096, 8}, {8192, 4},
 	}
+	opt := experiments.Options{Seed: 3}.WithDefaults()
 	var jobs []exec.Job
 	for _, g := range grid {
 		cfg := protocol.DefaultConfig()
@@ -37,11 +39,11 @@ func main() {
 		cfg.VictimCaching = false // isolate the underlying protocol, as in Figs 6/7
 		jobs = append(jobs, exec.Job{
 			Key:       fmt.Sprintf("designspace/%d/%d", g.entries, g.ways),
-			Proto:     exec.ProtoTree,
+			Engine:    protocol.KindTree,
 			Config:    cfg,
 			Profile:   profile,
-			Accesses:  400,
-			SuiteSeed: 3,
+			Accesses:  opt.AccessesPerNode,
+			SuiteSeed: opt.Seed,
 		})
 	}
 	results := (&exec.Pool{}).Run(jobs) // zero value: all cores

@@ -10,10 +10,13 @@ import (
 	"fmt"
 	"log"
 
-	"innetcc/internal/directory"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
-	"innetcc/internal/treecc"
+
+	// Blank imports register the engine builders protocol.Build
+	// constructs from (database/sql driver style).
+	_ "innetcc/internal/directory"
+	_ "innetcc/internal/treecc"
 )
 
 func main() {
@@ -33,11 +36,12 @@ func main() {
 
 	// 3. Baseline: directory MSI. The network is a pure communication
 	//    medium; every request is resolved at the home node's directory.
-	base, err := protocol.NewMachine(cfg, tr, profile.Think)
+	base, err := protocol.Build(protocol.Spec{
+		Config: cfg, Trace: tr, Think: profile.Think, Engine: protocol.KindDirectory,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	directory.New(base)
 	if err := base.Run(100_000_000); err != nil {
 		log.Fatal(err)
 	}
@@ -46,11 +50,12 @@ func main() {
 	//    virtual trees; requests are steered toward nearby copies
 	//    in-transit and writes tear trees down on their way to the home
 	//    node.
-	tree, err := protocol.NewMachine(cfg, tr, profile.Think)
+	tree, err := protocol.Build(protocol.Spec{
+		Config: cfg, Trace: tr, Think: profile.Think, Engine: protocol.KindTree,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	treecc.New(tree)
 	if err := tree.Run(100_000_000); err != nil {
 		log.Fatal(err)
 	}

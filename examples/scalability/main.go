@@ -16,12 +16,14 @@ import (
 	"log"
 
 	"innetcc/internal/exec"
+	"innetcc/internal/experiments"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
 )
 
 func main() {
 	benches := []string{"fft", "bar", "wsp", "ocn"}
+	opt := experiments.Options{Seed: 7}.WithDefaults() // default access counts, this example's seed
 	var jobs []exec.Job
 	for _, name := range benches {
 		p, err := trace.ProfileByName(name)
@@ -32,10 +34,10 @@ func main() {
 		cfg64 := protocol.DefaultConfig()
 		cfg64.MeshW, cfg64.MeshH = 8, 8
 		for _, j := range []exec.Job{
-			{Key: name + "/16/dir", Proto: exec.ProtoDir, Config: cfg16, Profile: p, Accesses: 400, SuiteSeed: 7},
-			{Key: name + "/16/tree", Proto: exec.ProtoTree, Config: cfg16, Profile: p, Accesses: 400, SuiteSeed: 7},
-			{Key: name + "/64/dir", Proto: exec.ProtoDir, Config: cfg64, Profile: p, Accesses: 120, SuiteSeed: 7},
-			{Key: name + "/64/tree", Proto: exec.ProtoTree, Config: cfg64, Profile: p, Accesses: 120, SuiteSeed: 7},
+			{Key: name + "/16/dir", Engine: protocol.KindDirectory, Config: cfg16, Profile: p, Accesses: opt.AccessesPerNode, SuiteSeed: opt.Seed},
+			{Key: name + "/16/tree", Engine: protocol.KindTree, Config: cfg16, Profile: p, Accesses: opt.AccessesPerNode, SuiteSeed: opt.Seed},
+			{Key: name + "/64/dir", Engine: protocol.KindDirectory, Config: cfg64, Profile: p, Accesses: opt.AccessesPerNode64, SuiteSeed: opt.Seed},
+			{Key: name + "/64/tree", Engine: protocol.KindTree, Config: cfg64, Profile: p, Accesses: opt.AccessesPerNode64, SuiteSeed: opt.Seed},
 		} {
 			jobs = append(jobs, j)
 		}

@@ -16,7 +16,9 @@ import (
 	"innetcc/internal/protocol"
 	"innetcc/internal/stats"
 	"innetcc/internal/trace"
-	"innetcc/internal/treecc"
+
+	// Registers the tree engine builder with protocol.Build.
+	_ "innetcc/internal/treecc"
 )
 
 func main() {
@@ -52,13 +54,14 @@ func main() {
 
 	// 3. Replay under the in-network protocol with percentile sampling.
 	cfg := protocol.DefaultConfig()
-	m, err := protocol.NewMachine(cfg, tr, profile.Think)
+	m, err := protocol.Build(protocol.Spec{
+		Config: cfg, Trace: tr, Think: profile.Think, Engine: protocol.KindTree,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	m.ReadSamples = &stats.Sampler{}
 	m.WriteSamples = &stats.Sampler{}
-	treecc.New(m)
 	if err := m.Run(100_000_000); err != nil {
 		log.Fatal(err)
 	}

@@ -16,7 +16,9 @@ import (
 	"innetcc/internal/mcheck"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
-	"innetcc/internal/treecc"
+
+	// Registers the tree engine builder with protocol.Build.
+	_ "innetcc/internal/treecc"
 )
 
 func main() {
@@ -54,11 +56,12 @@ func main() {
 		log.Fatal(err)
 	}
 	tr := trace.Generate(p, 16, 400, 99)
-	m, err := protocol.NewMachine(cfg, tr, 2)
+	m, err := protocol.Build(protocol.Spec{
+		Config: cfg, Trace: tr, Think: 2, Engine: protocol.KindTree,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	treecc.New(m)
 	// Machine.Run fails on any coherence or sequential-consistency
 	// violation recorded by the verifier.
 	if err := m.Run(200_000_000); err != nil {

@@ -57,6 +57,11 @@ type Engine struct {
 	HopRecorder func(write bool, baseHops, idealHops int)
 }
 
+func init() {
+	protocol.RegisterEngineBuilder(protocol.KindDirectory,
+		func(m *protocol.Machine) protocol.Engine { return New(m) })
+}
+
 // New builds the baseline engine on machine m, constructing the mesh with
 // the baseline pipeline depth and plain X-Y routing.
 func New(m *protocol.Machine) *Engine {

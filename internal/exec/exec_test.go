@@ -11,14 +11,14 @@ import (
 	"innetcc/internal/trace"
 )
 
-func testJob(bench string, proto Proto, accesses int) Job {
+func testJob(bench string, kind protocol.EngineKind, accesses int) Job {
 	p, err := trace.ProfileByName(bench)
 	if err != nil {
 		panic(err)
 	}
 	return Job{
-		Key:       bench + "/" + string(proto),
-		Proto:     proto,
+		Key:       bench + "/" + kind.String(),
+		Engine:    kind,
 		Config:    protocol.DefaultConfig(),
 		Profile:   p,
 		Accesses:  accesses,
@@ -28,11 +28,11 @@ func testJob(bench string, proto Proto, accesses int) Job {
 
 func testBatch() []Job {
 	return []Job{
-		testJob("fft", ProtoDir, 60),
-		testJob("fft", ProtoTree, 60),
-		testJob("bar", ProtoDir, 60),
-		testJob("bar", ProtoTree, 60),
-		testJob("wsp", ProtoTree, 60),
+		testJob("fft", protocol.KindDirectory, 60),
+		testJob("fft", protocol.KindTree, 60),
+		testJob("bar", protocol.KindDirectory, 60),
+		testJob("bar", protocol.KindTree, 60),
+		testJob("wsp", protocol.KindTree, 60),
 	}
 }
 
@@ -58,21 +58,21 @@ func TestDeriveSeedPureAndDistinct(t *testing.T) {
 }
 
 func TestJobSeedIgnoresWorkerIrrelevantFields(t *testing.T) {
-	dir := testJob("fft", ProtoDir, 60)
-	tree := testJob("fft", ProtoTree, 60)
+	dir := testJob("fft", protocol.KindDirectory, 60)
+	tree := testJob("fft", protocol.KindTree, 60)
 	tree.Key = "another-label"
 	tree.Config.TreeEntries = 512 // config knobs must not reseed the trace
 	if dir.Seed() != tree.Seed() {
 		t.Fatal("paired jobs over the same trace must share a seed")
 	}
-	other := testJob("bar", ProtoDir, 60)
+	other := testJob("bar", protocol.KindDirectory, 60)
 	if dir.Seed() == other.Seed() {
 		t.Fatal("different benchmarks must not share a seed")
 	}
 }
 
 func TestHashCoversSpecNotLabel(t *testing.T) {
-	a := testJob("fft", ProtoTree, 60)
+	a := testJob("fft", protocol.KindTree, 60)
 	b := a
 	b.Key = "renamed"
 	if a.Hash() != b.Hash() {
@@ -83,7 +83,7 @@ func TestHashCoversSpecNotLabel(t *testing.T) {
 	d := a
 	d.SuiteSeed = 7
 	e := a
-	e.Proto = ProtoDir
+	e.Engine = protocol.KindDirectory
 	for i, other := range []Job{c, d, e} {
 		if other.Hash() == a.Hash() {
 			t.Errorf("variant %d shares a hash with the original", i)
@@ -117,13 +117,13 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 // One failing job — bad config, exceeded cycle bound, or a panic inside
 // the simulation — must fail only its own row.
 func TestFailureIsolation(t *testing.T) {
-	bad := testJob("fft", ProtoTree, 60)
+	bad := testJob("fft", protocol.KindTree, 60)
 	bad.Config.TreeEntries = 0 // rejected by Config.Validate
-	slow := testJob("bar", ProtoTree, 60)
+	slow := testJob("bar", protocol.KindTree, 60)
 	slow.MaxCycles = 10 // guaranteed to exceed the cycle bound
-	panicky := testJob("wsp", ProtoTree, 60)
+	panicky := testJob("wsp", protocol.KindTree, 60)
 	panicky.Accesses = -1 // panics inside trace generation
-	jobs := []Job{testJob("fft", ProtoDir, 60), bad, slow, panicky, testJob("bar", ProtoDir, 60)}
+	jobs := []Job{testJob("fft", protocol.KindDirectory, 60), bad, slow, panicky, testJob("bar", protocol.KindDirectory, 60)}
 
 	rs := (&Pool{Workers: 4}).Run(jobs)
 	if rs[0].Failed() || rs[4].Failed() {
@@ -177,7 +177,7 @@ func TestCacheSurvivesCorruptEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job := testJob("fft", ProtoTree, 40)
+	job := testJob("fft", protocol.KindTree, 40)
 	first := (&Pool{Workers: 1, Cache: cache}).Run([]Job{job})
 	if err := os.WriteFile(filepath.Join(dir, job.Hash()+".json"), []byte("{truncated"), 0o644); err != nil {
 		t.Fatal(err)
@@ -204,7 +204,7 @@ func TestCacheStoresFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow := testJob("fft", ProtoTree, 40)
+	slow := testJob("fft", protocol.KindTree, 40)
 	slow.MaxCycles = 10
 	(&Pool{Workers: 1, Cache: cache}).Run([]Job{slow})
 	rs := (&Pool{Workers: 1, Cache: cache}).Run([]Job{slow})

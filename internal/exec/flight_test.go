@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"innetcc/internal/metrics"
+	"innetcc/internal/protocol"
 )
 
 // TestFlightRecorderCapturesDeadlockRecovery forces the tree protocol's
@@ -13,7 +14,7 @@ import (
 // a later home-node backoff for the same line, and the teardown events the
 // recovery rode on, all with non-decreasing cycle stamps.
 func TestFlightRecorderCapturesDeadlockRecovery(t *testing.T) {
-	job := testJob("wsp", ProtoTree, 150)
+	job := testJob("wsp", protocol.KindTree, 150)
 	job.Config.TreeEntries, job.Config.TreeWays = 4, 1
 	job.Config.TimeoutCycles = 15
 	job.Metrics = MetricsSpec{Enabled: true, FlightDump: true, FlightSize: 1 << 17}

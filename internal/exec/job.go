@@ -26,15 +26,6 @@ import (
 	"innetcc/internal/trace"
 )
 
-// Proto selects the coherence engine a job runs.
-type Proto string
-
-// The two coherence engines.
-const (
-	ProtoDir  Proto = "dir"  // baseline MSI directory protocol
-	ProtoTree Proto = "tree" // in-network virtual-tree protocol
-)
-
 // DefaultMaxCycles bounds every simulation; a run hitting it indicates a
 // protocol bug (or a diverging configuration) and fails that job's row.
 const DefaultMaxCycles = 200_000_000
@@ -42,9 +33,9 @@ const DefaultMaxCycles = 200_000_000
 // specVersion invalidates cached results when the result schema or the
 // simulation semantics change incompatibly. Bump it on any change that
 // alters what a given spec computes.
-const specVersion = 2 // v2: Result.Metrics / Job.Metrics (observability payload)
+const specVersion = 3 // v3: Job.Engine (protocol.EngineKind) replaces Job.Proto
 
-// Job describes one hermetic simulation: which protocol to run, on which
+// Job describes one hermetic simulation: which engine to run, on which
 // configuration, over which synthetic trace. Everything the simulation
 // observes is derived from these fields.
 type Job struct {
@@ -52,8 +43,8 @@ type Job struct {
 	// influence the simulation, its seed, or its cache identity.
 	Key string
 
-	// Proto selects the coherence engine.
-	Proto Proto
+	// Engine selects the coherence engine.
+	Engine protocol.EngineKind
 
 	// Config is the machine configuration. Its Seed field is ignored: the
 	// run seed is always derived from SuiteSeed and the trace identity.
@@ -127,7 +118,7 @@ func splitmix(z uint64) uint64 {
 // SuiteSeed).
 type hashSpec struct {
 	Version     int
-	Proto       Proto
+	Engine      protocol.EngineKind
 	Config      protocol.Config
 	Profile     trace.Profile
 	Accesses    int
@@ -142,7 +133,7 @@ type hashSpec struct {
 func (j Job) Hash() string {
 	spec := hashSpec{
 		Version:     specVersion,
-		Proto:       j.Proto,
+		Engine:      j.Engine,
 		Config:      j.Config,
 		Profile:     j.Profile,
 		Accesses:    j.Accesses,

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"reflect"
 	"testing"
+
+	"innetcc/internal/protocol"
 )
 
 // TestMetricsDoNotPerturbResults is the observational-purity guarantee:
@@ -91,7 +93,7 @@ func TestBreakdownSumsToReportedLatency(t *testing.T) {
 // served a cached metrics-free result (and vice versa), since the payloads
 // differ.
 func TestMetricsSpecChangesCacheIdentity(t *testing.T) {
-	a := testJob("fft", ProtoTree, 60)
+	a := testJob("fft", protocol.KindTree, 60)
 	b := a
 	b.Metrics = MetricsSpec{Enabled: true}
 	if a.Hash() == b.Hash() {

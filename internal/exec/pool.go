@@ -9,7 +9,11 @@ import (
 	"innetcc/internal/protocol"
 	"innetcc/internal/stats"
 	"innetcc/internal/trace"
-	"innetcc/internal/treecc"
+
+	// Registers the tree engine's builder with protocol.Build. The
+	// directory package (imported above for the hop-study wiring) does the
+	// same for the baseline engine.
+	_ "innetcc/internal/treecc"
 )
 
 // Pool runs batches of jobs across worker goroutines. The zero value is
@@ -97,45 +101,45 @@ func simulate(job Job) (res Result) {
 	seed := job.Seed()
 	cfg := job.Config
 	cfg.Seed = seed
-	tr := trace.Generate(job.Profile, cfg.Nodes(), job.Accesses, seed)
-	m, err := protocol.NewMachine(cfg, tr, job.Profile.Think)
+	m, err := protocol.Build(protocol.Spec{
+		Config:  cfg,
+		Trace:   trace.Generate(job.Profile, cfg.Nodes(), job.Accesses, seed),
+		Think:   job.Profile.Think,
+		Engine:  job.Engine,
+		Metrics: col,
+	})
 	if err != nil {
 		return Result{Err: err.Error(), Metrics: metricsOut(col, true)}
 	}
-	m.Metrics = col // must precede engine construction (AttachEngine wires the mesh)
 	m.ReadSamples = &stats.Sampler{}
 	m.WriteSamples = &stats.Sampler{}
 
 	var hops *HopAgg
-	switch job.Proto {
-	case ProtoDir:
-		e := directory.New(m)
-		if job.CollectHops {
-			hops = &HopAgg{}
-			e.HopRecorder = func(write bool, base, ideal int) {
-				if base == 0 {
-					return
-				}
-				if write {
-					hops.WriteBase += float64(base)
-					hops.WriteIdeal += float64(ideal)
-					hops.Writes++
-				} else {
-					hops.ReadBase += float64(base)
-					hops.ReadIdeal += float64(ideal)
-					hops.Reads++
-				}
+	if job.CollectHops {
+		e, ok := m.Engine().(*directory.Engine)
+		if !ok {
+			return Result{Err: fmt.Sprintf("exec: CollectHops requires the directory engine, got %s", job.Engine)}
+		}
+		hops = &HopAgg{}
+		e.HopRecorder = func(write bool, base, ideal int) {
+			if base == 0 {
+				return
+			}
+			if write {
+				hops.WriteBase += float64(base)
+				hops.WriteIdeal += float64(ideal)
+				hops.Writes++
+			} else {
+				hops.ReadBase += float64(base)
+				hops.ReadIdeal += float64(ideal)
+				hops.Reads++
 			}
 		}
-	case ProtoTree:
-		treecc.New(m)
-	default:
-		return Result{Err: fmt.Sprintf("exec: unknown protocol %q", job.Proto)}
 	}
 
 	if err := m.Run(job.maxCycles()); err != nil {
 		return Result{
-			Err:     fmt.Sprintf("%s %s: %v", job.Profile.Name, job.Proto, err),
+			Err:     fmt.Sprintf("%s %s: %v", job.Profile.Name, job.Engine, err),
 			Metrics: metricsOut(col, true),
 		}
 	}

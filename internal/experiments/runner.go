@@ -15,6 +15,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"innetcc/internal/exec"
 	"innetcc/internal/protocol"
 	"innetcc/internal/stats"
@@ -49,17 +51,56 @@ type Options struct {
 	MetricsLog *MetricsLog
 }
 
+// WithDefaults returns a copy of o with unset (zero) scaling fields filled
+// in: 400/120 accesses per node (16/64-node meshes) and seed 42. It is the
+// one place experiment option defaults live — drivers, benchmarks and
+// examples that only want to override one knob start from a partial literal
+// and call this instead of hand-rolling the rest. Negative values are left
+// alone so Validate rejects them rather than silently running at defaults.
+func (o Options) WithDefaults() Options {
+	if o.AccessesPerNode == 0 {
+		o.AccessesPerNode = 400
+	}
+	if o.AccessesPerNode64 == 0 {
+		o.AccessesPerNode64 = 120
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Validate reports option combinations no driver can honor.
+func (o Options) Validate() error {
+	if o.AccessesPerNode <= 0 {
+		return fmt.Errorf("experiments: AccessesPerNode must be positive, got %d (use WithDefaults)", o.AccessesPerNode)
+	}
+	if o.AccessesPerNode64 <= 0 {
+		return fmt.Errorf("experiments: AccessesPerNode64 must be positive, got %d (use WithDefaults)", o.AccessesPerNode64)
+	}
+	if o.Seed == 0 {
+		return fmt.Errorf("experiments: Seed must be non-zero (use WithDefaults)")
+	}
+	if o.FlightDump && !o.Metrics {
+		return fmt.Errorf("experiments: FlightDump requires Metrics")
+	}
+	return nil
+}
+
 // DefaultOptions is sized so the full suite completes in a couple of
 // minutes on one core while keeping per-benchmark orderings stable; the
 // pool spreads it across all cores by default.
 func DefaultOptions() Options {
-	return Options{AccessesPerNode: 400, AccessesPerNode64: 120, Seed: 42}
+	return Options{}.WithDefaults()
 }
 
 // runJobs executes a driver's batch on the configured pool. The returned
-// error covers infrastructure only (an unusable cache directory); per-job
-// failures are carried in the results.
+// error covers option misuse and infrastructure (an unusable cache
+// directory); per-job failures are carried in the results.
 func runJobs(opt Options, jobs []exec.Job) ([]exec.Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if opt.Metrics {
 		for i := range jobs {
 			jobs[i].Metrics = exec.MetricsSpec{Enabled: true, FlightDump: opt.FlightDump}
@@ -80,12 +121,12 @@ func runJobs(opt Options, jobs []exec.Job) ([]exec.Result, error) {
 
 // dirJob and treeJob build one-simulation specs for the two protocols.
 func dirJob(key string, cfg protocol.Config, p trace.Profile, accesses int, opt Options) exec.Job {
-	return exec.Job{Key: key, Proto: exec.ProtoDir, Config: cfg,
+	return exec.Job{Key: key, Engine: protocol.KindDirectory, Config: cfg,
 		Profile: p, Accesses: accesses, SuiteSeed: opt.Seed}
 }
 
 func treeJob(key string, cfg protocol.Config, p trace.Profile, accesses int, opt Options) exec.Job {
-	return exec.Job{Key: key, Proto: exec.ProtoTree, Config: cfg,
+	return exec.Job{Key: key, Engine: protocol.KindTree, Config: cfg,
 		Profile: p, Accesses: accesses, SuiteSeed: opt.Seed}
 }
 

@@ -25,9 +25,11 @@ type Router struct {
 	// NodeID is the router's position, equal to the attached node's id.
 	NodeID int
 	mesh   *Mesh
+	tid    sim.TickerID
 
 	in       [numInPorts][]fifoQueue // indexed [port][vc]
 	busyTill [numOutPorts]int64
+	queued   int // packets across all FIFOs, for park/wake
 
 	// ExtraHopDelay is added to every packet's per-hop pipeline time at
 	// this router. The Figure 10 experiment uses it to model an
@@ -36,20 +38,38 @@ type Router struct {
 	ExtraHopDelay int64
 }
 
+// fifoQueue is a growable ring buffer of fifoEntries. Unlike the obvious
+// `q = q[1:]` slice queue, a ring never strands capacity behind the read
+// point, so a router in steady state pushes and pops with zero allocations.
 type fifoQueue struct {
-	q []fifoEntry
+	buf     []fifoEntry
+	head, n int
 }
 
-func (f *fifoQueue) push(e fifoEntry) { f.q = append(f.q, e) }
-func (f *fifoQueue) head() *fifoEntry {
-	if len(f.q) == 0 {
+func (f *fifoQueue) push(e fifoEntry) {
+	if f.n == len(f.buf) {
+		grown := make([]fifoEntry, max(4, 2*len(f.buf)))
+		for i := 0; i < f.n; i++ {
+			grown[i] = f.buf[(f.head+i)%len(f.buf)]
+		}
+		f.buf, f.head = grown, 0
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = e
+	f.n++
+}
+
+func (f *fifoQueue) head0() *fifoEntry {
+	if f.n == 0 {
 		return nil
 	}
-	return &f.q[0]
+	return &f.buf[f.head]
 }
+
 func (f *fifoQueue) pop() fifoEntry {
-	e := f.q[0]
-	f.q = f.q[1:]
+	e := f.buf[f.head]
+	f.buf[f.head] = fifoEntry{}
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
 	return e
 }
 
@@ -65,6 +85,11 @@ type Mesh struct {
 	kernel   *sim.Kernel
 	nextID   uint64
 	routeSeq uint64
+
+	// freePkts is the packet free-list: packets the mesh handed out with
+	// AllocPacket come back here when they leave the network, so the
+	// protocol hot path allocates no packets in steady state.
+	freePkts []*Packet
 
 	// EjectFn is invoked (one cycle after the grant) when a packet
 	// leaves through a router's local ejection port. It must be set
@@ -93,7 +118,9 @@ type Mesh struct {
 
 // NewMesh builds a w-by-h mesh with the given router pipeline depth and
 // virtual-channel count, registers every router with the kernel, and wires
-// the policy in.
+// the policy in. Routers park themselves whenever their FIFOs drain and are
+// woken by injection, protocol spawning and neighbor hand-off, so an idle
+// router costs the kernel nothing but a flag check per cycle.
 func NewMesh(k *sim.Kernel, w, h int, pipeline int64, vcCount int, policy Policy) *Mesh {
 	if w <= 0 || h <= 0 || pipeline < 1 || vcCount < 1 {
 		panic("network: invalid mesh shape")
@@ -105,7 +132,7 @@ func NewMesh(k *sim.Kernel, w, h int, pipeline int64, vcCount int, policy Policy
 			r.in[p] = make([]fifoQueue, vcCount)
 		}
 		m.Routers = append(m.Routers, r)
-		k.Register(r)
+		r.tid = k.Register(r)
 	}
 	return m
 }
@@ -124,6 +151,44 @@ func (m *Mesh) NextID() uint64 {
 	return m.nextID
 }
 
+// AllocPacket returns a zeroed packet from the mesh free-list (or a fresh
+// one). The mesh recycles it automatically when it leaves the network —
+// through a local ejection port, after EjectFn returns, or when the policy
+// consumes it in-network — so callers must not retain pool packets past
+// those points. Protocol engines build all their traffic through this.
+func (m *Mesh) AllocPacket() *Packet {
+	if n := len(m.freePkts); n > 0 {
+		p := m.freePkts[n-1]
+		m.freePkts = m.freePkts[:n-1]
+		*p = Packet{pooled: true}
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// recycle returns a dead pool packet to the free-list. Literal-built
+// packets pass through untouched.
+func (m *Mesh) recycle(p *Packet) {
+	if p.pooled {
+		p.Payload = nil
+		m.freePkts = append(m.freePkts, p)
+	}
+}
+
+// enqueue appends e to the router's [port][vc] FIFO and wakes the router:
+// it now has work and must tick until it drains again.
+func (r *Router) enqueue(port Dir, vc int, e fifoEntry) {
+	r.in[port][vc].push(e)
+	r.queued++
+	r.mesh.kernel.Wake(r.tid)
+}
+
+// Quiescent implements sim.Parker: a router with empty FIFOs has nothing to
+// route or arbitrate (busyTill holds an absolute cycle, so an in-flight
+// serialization tail needs no ticking to expire), and every path that hands
+// the router a packet wakes it.
+func (r *Router) Quiescent() bool { return r.queued == 0 }
+
 // Inject places a packet into node's router through the local injection
 // port. The packet becomes routable after the router pipeline.
 func (m *Mesh) Inject(node int, p *Packet, now int64) {
@@ -134,7 +199,7 @@ func (m *Mesh) Inject(node int, p *Packet, now int64) {
 	p.stallStart = 0
 	p.serialWait = 0
 	m.InFlight++
-	r.in[Local][int(p.Class)%m.VCCount].push(fifoEntry{pkt: p, readyAt: now + m.Pipeline + r.ExtraHopDelay})
+	r.enqueue(Local, int(p.Class)%m.VCCount, fifoEntry{pkt: p, readyAt: now + m.Pipeline + r.ExtraHopDelay})
 }
 
 // spawn places a protocol-generated packet into node's generation port.
@@ -154,7 +219,7 @@ func (m *Mesh) spawn(node int, p *Packet, now int64) {
 	if p.Expedited {
 		delay = 0
 	}
-	r.in[portGen][int(p.Class)%m.VCCount].push(fifoEntry{pkt: p, readyAt: now + delay})
+	r.enqueue(portGen, int(p.Class)%m.VCCount, fifoEntry{pkt: p, readyAt: now + delay})
 }
 
 // Spawn is the exported form of spawn for protocol engines that generate
@@ -170,14 +235,14 @@ func (r *Router) Tick(now int64) {
 		// Integrate input-FIFO occupancy (packet-cycles) per port/VC.
 		for port := 0; port < numInPorts; port++ {
 			for vc := 0; vc < m.VCCount; vc++ {
-				nm.QueueSum[nm.InIdx(r.NodeID, port, vc)] += int64(len(r.in[port][vc].q))
+				nm.QueueSum[nm.InIdx(r.NodeID, port, vc)] += int64(r.in[port][vc].n)
 			}
 		}
 	}
 	// Phase 1: routing decisions for FIFO heads that cleared the pipeline.
 	for port := 0; port < numInPorts; port++ {
 		for vc := 0; vc < m.VCCount; vc++ {
-			h := r.in[port][vc].head()
+			h := r.in[port][vc].head0()
 			if h == nil || h.readyAt > now || h.pkt.routed {
 				continue
 			}
@@ -189,12 +254,14 @@ func (r *Router) Tick(now int64) {
 			switch {
 			case st.Consume:
 				r.in[port][vc].pop()
+				r.queued--
 				m.InFlight--
 				m.DeliveredPackets++
 				m.TotalHops += int64(p.Hops)
 				if m.DeliverFn != nil {
 					m.DeliverFn(p, true, now)
 				}
+				m.recycle(p)
 			case st.Stall:
 				if p.stallStart == 0 {
 					p.stallStart = now
@@ -227,7 +294,7 @@ func (r *Router) Tick(now int64) {
 				// The link is still serializing a previous packet's
 				// flits: charge routed heads waiting for it.
 				for slot := 0; slot < nSlots; slot++ {
-					h := r.in[slot/m.VCCount][slot%m.VCCount].head()
+					h := r.in[slot/m.VCCount][slot%m.VCCount].head0()
 					if h != nil && h.pkt.routed && h.pkt.outPort == Dir(out) {
 						h.pkt.serialWait++
 						nm.SerialWait[nm.OutIdx(r.NodeID, out)]++
@@ -240,7 +307,7 @@ func (r *Router) Tick(now int64) {
 		var bestSeq uint64
 		for slot := 0; slot < nSlots; slot++ {
 			port, vc := slot/m.VCCount, slot%m.VCCount
-			h := r.in[port][vc].head()
+			h := r.in[port][vc].head0()
 			if h == nil || !h.pkt.routed || h.pkt.outPort != Dir(out) {
 				continue
 			}
@@ -254,6 +321,7 @@ func (r *Router) Tick(now int64) {
 		}
 		port, vc := granted/m.VCCount, granted%m.VCCount
 		e := r.in[port][vc].pop()
+		r.queued--
 		p := e.pkt
 		p.routed = false
 		r.busyTill[out] = now + int64(p.Flits)
@@ -271,6 +339,7 @@ func (r *Router) Tick(now int64) {
 					m.DeliverFn(p, false, m.kernelNow())
 				}
 				m.EjectFn(r.NodeID, p, m.kernelNow())
+				m.recycle(p)
 			})
 			continue
 		}
@@ -281,7 +350,7 @@ func (r *Router) Tick(now int64) {
 		next := m.Routers[nb]
 		p.ArrivalDir = Dir(out).Opposite()
 		p.Hops++
-		next.in[p.ArrivalDir][vc].push(fifoEntry{pkt: p, readyAt: now + 1 + m.Pipeline + next.ExtraHopDelay})
+		next.enqueue(p.ArrivalDir, vc, fifoEntry{pkt: p, readyAt: now + 1 + m.Pipeline + next.ExtraHopDelay})
 	}
 }
 
@@ -289,12 +358,4 @@ func (m *Mesh) kernelNow() int64 { return m.kernel.Now() }
 
 // QueuedPackets returns the number of packets waiting in this router's
 // FIFOs, for drain checks and tests.
-func (r *Router) QueuedPackets() int {
-	n := 0
-	for port := 0; port < numInPorts; port++ {
-		for vc := range r.in[port] {
-			n += len(r.in[port][vc].q)
-		}
-	}
-	return n
-}
+func (r *Router) QueuedPackets() int { return r.queued }

@@ -112,6 +112,12 @@ type Packet struct {
 	routed   bool
 	outPort  Dir
 	routeSeq uint64
+	// pooled marks packets allocated from the mesh free-list
+	// (Mesh.AllocPacket): the mesh recycles them when they leave the
+	// network. Packets built as plain literals (tests, external drivers)
+	// have it false and are never recycled, so references a test harness
+	// retains past delivery stay valid.
+	pooled bool
 	// stallStart is the cycle the packet first stalled at this router,
 	// for the protocol's timeout-based deadlock recovery.
 	stallStart int64

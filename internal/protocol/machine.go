@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"math"
 	"os"
 
 	"innetcc/internal/cache"
@@ -115,6 +116,17 @@ type Machine struct {
 	// accNet accumulates, per node, the network time of the packets
 	// serving the node's outstanding access (for the latency breakdown).
 	accNet []netAcc
+
+	// tid is the machine's kernel ticker id, for park/wake. nextWake is
+	// the earliest cycle any idle node can issue its next access
+	// (math.MaxInt64 when every node is outstanding or done): Tick
+	// returns immediately before it, and Quiescent parks the machine
+	// until then. wakeTimerAt is the target of the wake timer currently
+	// scheduled (if any), so repeated park checks don't pile up
+	// duplicate timers.
+	tid         sim.TickerID
+	nextWake    int64
+	wakeTimerAt int64
 }
 
 // netAcc is the per-outstanding-access network time attribution: total
@@ -126,24 +138,33 @@ type netAcc struct {
 
 // NewMachine builds a machine for the given configuration and trace. think
 // is the mean CPU idle time between accesses (from the benchmark profile).
-// The trace must have exactly cfg.Nodes() per-node streams.
+//
+// Deprecated: use Build with a Spec, which also constructs the engine and
+// wires metrics in one call. This shim exists for one release so external
+// drivers keep compiling.
 func NewMachine(cfg Config, tr *trace.Trace, think int64) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if len(tr.PerNode) != cfg.Nodes() {
-		return nil, fmt.Errorf("protocol: trace has %d streams for %d nodes", len(tr.PerNode), cfg.Nodes())
-	}
+	return Build(Spec{Config: cfg, Trace: tr, Think: think})
+}
+
+// newMachine constructs the machine core from a validated spec; Build
+// attaches the engine afterwards.
+func newMachine(spec Spec) (*Machine, error) {
+	cfg := spec.Config
+	think := spec.Think
 	if think < 1 {
 		think = 1
 	}
 	k := sim.NewKernel(cfg.Seed)
+	if spec.AlwaysTick {
+		k.SetAlwaysTick(true)
+	}
 	m := &Machine{
 		Cfg:        cfg,
 		Kernel:     k,
 		Mem:        memory.New(cfg.MemLatency),
 		Check:      verify.New(false),
 		HomeCounts: make([]int64, cfg.Nodes()),
+		Metrics:    spec.Metrics,
 		think:      think,
 		nicBusy:    make([]int64, cfg.Nodes()),
 		accNet:     make([]netAcc, cfg.Nodes()),
@@ -152,11 +173,11 @@ func NewMachine(cfg Config, tr *trace.Trace, think int64) (*Machine, error) {
 		m.Nodes = append(m.Nodes, &Node{
 			ID:     i,
 			L2:     cache.New[DataLine](cfg.L2Entries, cfg.L2Ways),
-			stream: tr.PerNode[i],
+			stream: spec.Trace.PerNode[i],
 			rng:    k.RNG().Split(),
 		})
 	}
-	k.Register(m)
+	m.tid = k.Register(m)
 	return m, nil
 }
 
@@ -177,7 +198,9 @@ func (m *Machine) AttachEngine(e Engine, mesh *network.Mesh) {
 func (m *Machine) Engine() Engine { return m.engine }
 
 // Tick implements sim.Ticker: each cycle every idle CPU considers issuing
-// its next access.
+// its next access. The scan maintains nextWake — the earliest cycle any
+// idle node becomes eligible to issue — so cycles before it return without
+// walking the nodes at all, and Quiescent can park the machine until then.
 func (m *Machine) Tick(now int64) {
 	if c := m.Metrics; c != nil && c.SampleDue(now) {
 		c.InFlight.Observe(now, float64(m.Mesh.InFlight))
@@ -187,8 +210,16 @@ func (m *Machine) Tick(now int64) {
 			c.QueueDepth.Observe(now, float64(depth))
 		}
 	}
+	if now < m.nextWake {
+		return
+	}
+	m.nextWake = math.MaxInt64
 	for _, n := range m.Nodes {
-		if n.outstanding || n.idx >= len(n.stream) || now < n.nextIssue {
+		if n.outstanding || n.idx >= len(n.stream) {
+			continue
+		}
+		if now < n.nextIssue {
+			m.noteWake(n.nextIssue)
 			continue
 		}
 		acc := n.stream[n.idx]
@@ -199,6 +230,9 @@ func (m *Machine) Tick(now int64) {
 				m.LocalHits++
 				n.idx++
 				n.nextIssue = now + m.Cfg.L2Latency + m.thinkTime(n)
+				if n.idx < len(n.stream) {
+					m.noteWake(n.nextIssue)
+				}
 				continue
 			}
 			if line.State == Modified {
@@ -207,6 +241,9 @@ func (m *Machine) Tick(now int64) {
 				m.LocalHits++
 				n.idx++
 				n.nextIssue = now + m.Cfg.L2Latency + m.thinkTime(n)
+				if n.idx < len(n.stream) {
+					m.noteWake(n.nextIssue)
+				}
 				continue
 			}
 			// Write to a Shared line: upgrade required, falls
@@ -224,6 +261,38 @@ func (m *Machine) Tick(now int64) {
 		}
 		m.engine.StartMiss(n.ID, acc.Addr, acc.Write, now)
 	}
+}
+
+// noteWake lowers nextWake to at if it is earlier. CompleteAccess also
+// min-updates (rather than overwriting), so a completion that lands while a
+// Tick scan is in progress can never be lost.
+func (m *Machine) noteWake(at int64) {
+	if at < m.nextWake {
+		m.nextWake = at
+	}
+}
+
+// Quiescent implements sim.Parker. The machine parks when no node can
+// issue before nextWake, scheduling a wake timer for that cycle (or
+// parking indefinitely when every node is outstanding or done — engine
+// completions wake it). Metrics sampling needs a true every-cycle tick, so
+// an instrumented machine never parks.
+func (m *Machine) Quiescent() bool {
+	if m.Metrics != nil {
+		return false
+	}
+	if m.nextWake == math.MaxInt64 {
+		return true
+	}
+	now := m.Kernel.Now()
+	if m.nextWake > now+1 {
+		if m.wakeTimerAt != m.nextWake {
+			m.Kernel.WakeAt(m.nextWake-now, m.tid)
+			m.wakeTimerAt = m.nextWake
+		}
+		return true
+	}
+	return false
 }
 
 func (m *Machine) thinkTime(n *Node) int64 {
@@ -267,6 +336,10 @@ func (m *Machine) CompleteAccess(node int, write bool, now, deadlockCycles int64
 	n.outstanding = false
 	n.idx++
 	n.nextIssue = now + m.thinkTime(n)
+	if n.idx < len(n.stream) {
+		m.noteWake(n.nextIssue)
+		m.Kernel.Wake(m.tid)
+	}
 }
 
 // observeDelivery is the mesh DeliverFn when metrics are enabled: it
@@ -400,13 +473,13 @@ func (m *Machine) NewPacket(src, dst int, msg *Msg) *network.Packet {
 	if msg.Type.IsData() {
 		flits = m.Cfg.DataFlits
 	}
-	return &network.Packet{
-		ID:      m.Mesh.NextID(),
-		Src:     src,
-		Dst:     dst,
-		Flits:   flits,
-		Payload: msg,
-	}
+	p := m.Mesh.AllocPacket()
+	p.ID = m.Mesh.NextID()
+	p.Src = src
+	p.Dst = dst
+	p.Flits = flits
+	p.Payload = msg
+	return p
 }
 
 // AllDone reports whether every CPU has drained its stream.

@@ -5,12 +5,41 @@
 // exactly reproducible from its seed.
 //
 // The kernel advances in whole cycles. Within a cycle, due events fire first
-// (in schedule order), then every registered Ticker ticks once in
+// (in schedule order), then every active registered Ticker ticks once in
 // registration order. Components that need sub-cycle ordering encode it by
 // scheduling events rather than relying on ticker order.
+//
+// # Scheduling guarantee
+//
+// Schedule never fires a callback within the cycle that scheduled it: a
+// delay of zero or less is clamped so the callback runs at the start of the
+// next cycle. This next-cycle guarantee is what keeps component
+// interactions race-free — a handler can never observe a half-updated peer
+// in its own cycle. Schedule returns the effective fire cycle so callers
+// that care (tests, schedulers layering their own timelines) can see the
+// clamp instead of silently mispredicting it.
+//
+// # Active-set ticking
+//
+// Most tickers in a large simulation are idle in any given cycle: a 64-node
+// mesh at low injection has a handful of routers carrying flits while the
+// rest have empty FIFOs. Tickers that additionally implement Parker are
+// therefore parked as soon as they report quiescence after a tick, and skip
+// the per-cycle virtual call until woken with Wake (or WakeAt for a
+// self-scheduled future wake). Waking is edge-triggered and idempotent:
+// components wake a ticker whenever they hand it new work (packet enqueue,
+// access completion), and a wake during the cycle's event phase — or from an
+// earlier ticker in the same cycle — means the woken ticker still ticks in
+// that same cycle, exactly as it would have under always-tick semantics. A
+// parked ticker is, by its own contract, one whose Tick would have been a
+// no-op, so simulation output is byte-identical to ticking everything every
+// cycle; SetAlwaysTick(true) restores the exhaustive behavior for
+// differential testing.
+//
+// When every ticker is parked, Run and RunUntil fast-forward the clock to
+// the next scheduled event instead of stepping through cycles in which
+// nothing can happen.
 package sim
-
-import "container/heap"
 
 // Ticker is implemented by components that need to perform work every cycle,
 // such as routers and network interfaces.
@@ -18,40 +47,106 @@ type Ticker interface {
 	Tick(now int64)
 }
 
-// event is a delayed callback managed by the kernel's event heap.
-type event struct {
-	at  int64
-	seq uint64
-	fn  func()
+// Parker is optionally implemented by tickers that can report quiescence.
+// After ticking a Parker that reports Quiescent, the kernel parks it: the
+// ticker is skipped every cycle until Kernel.Wake (or a WakeAt timer)
+// reactivates it. A Parker must only report quiescence when its Tick would
+// be a no-op for every cycle until one of its wake sources fires, so that
+// parking never changes simulation output. Quiescent may have benign side
+// effects (e.g. scheduling its own future wake with WakeAt).
+type Parker interface {
+	Ticker
+	Quiescent() bool
 }
 
+// TickerID identifies a registered ticker; Register returns it and Wake and
+// WakeAt take it. IDs are dense indexes in registration order.
+type TickerID int
+
+// event is a delayed callback (fn != nil) or a parked-ticker wake timer
+// managed by the kernel's event heap.
+type event struct {
+	at   int64
+	seq  uint64
+	fn   func()
+	wake TickerID // valid when fn == nil
+}
+
+// before reports heap ordering: by fire cycle, then schedule order. seq is
+// unique, so (at, seq) is a total order and the pop sequence is independent
+// of heap implementation details.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a hand-rolled binary min-heap. container/heap would box every
+// pushed and popped event in an interface{}, allocating on the simulation's
+// hottest non-tick path; the explicit version keeps Schedule/fire
+// allocation-free outside slice growth.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the callback reference
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s[l].before(s[smallest]) {
+			smallest = l
+		}
+		if r < n && s[r].before(s[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}
+
+// tickerSlot is one registered ticker plus its activation state.
+type tickerSlot struct {
+	t      Ticker
+	parker Parker // non-nil when t implements Parker
+	active bool
 }
 
 // Kernel is the cycle-driven simulation engine. The zero value is not ready
 // for use; construct with NewKernel.
 type Kernel struct {
-	now     int64
-	seq     uint64
-	tickers []Ticker
-	events  eventHeap
-	rng     *RNG
+	now        int64
+	seq        uint64
+	slots      []tickerSlot
+	active     int // count of active slots
+	events     eventHeap
+	pending    int // scheduled callbacks (fn events) not yet fired
+	rng        *RNG
+	alwaysTick bool
 }
 
 // NewKernel returns a kernel whose random number generator is seeded with
@@ -67,54 +162,151 @@ func (k *Kernel) Now() int64 { return k.now }
 // RNG returns the kernel's deterministic random number generator.
 func (k *Kernel) RNG() *RNG { return k.rng }
 
-// Register adds t to the set of components ticked every cycle.
-func (k *Kernel) Register(t Ticker) { k.tickers = append(k.tickers, t) }
+// Register adds t to the set of components ticked every cycle and returns
+// its TickerID for Wake/WakeAt. Tickers start active and must all be
+// registered before the first Step.
+func (k *Kernel) Register(t Ticker) TickerID {
+	s := tickerSlot{t: t, active: true}
+	if p, ok := t.(Parker); ok {
+		s.parker = p
+	}
+	k.slots = append(k.slots, s)
+	k.active++
+	return TickerID(len(k.slots) - 1)
+}
 
-// Schedule arranges for fn to run at the start of the cycle delay cycles
-// from now. A delay of zero or less runs fn at the start of the next cycle:
-// events can never fire within the cycle that scheduled them, which keeps
-// component interactions race-free.
-func (k *Kernel) Schedule(delay int64, fn func()) {
+// Wake reactivates a parked ticker. Waking an active ticker is a no-op, so
+// producers call it unconditionally when handing a component new work. A
+// ticker woken during the current cycle's event phase, or by an
+// earlier-registered ticker in the same cycle, ticks in that same cycle.
+func (k *Kernel) Wake(id TickerID) {
+	s := &k.slots[id]
+	if !s.active {
+		s.active = true
+		k.active++
+	}
+}
+
+// WakeAt arranges for the ticker to be woken at the start of the cycle
+// delay cycles from now (clamped to the next cycle, like Schedule) and
+// returns the effective wake cycle. Unlike Schedule it allocates no
+// closure, and the timer does not count as a pending event: a wake timer
+// carries no work of its own, so drain checks (Pending) ignore it.
+func (k *Kernel) WakeAt(delay int64, id TickerID) int64 {
 	if delay < 1 {
 		delay = 1
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: k.now + delay, seq: k.seq, fn: fn})
+	k.events.push(event{at: k.now + delay, seq: k.seq, wake: id})
+	return k.now + delay
+}
+
+// SetAlwaysTick toggles the active-set optimization off (true) or on
+// (false). With always-tick on, every registered ticker ticks every cycle —
+// the exhaustive semantics the active-set mode must be byte-identical to —
+// and Quiescent is never consulted. Enabling it also wakes every parked
+// ticker.
+func (k *Kernel) SetAlwaysTick(on bool) {
+	k.alwaysTick = on
+	if on {
+		for i := range k.slots {
+			if !k.slots[i].active {
+				k.slots[i].active = true
+				k.active++
+			}
+		}
+	}
+}
+
+// Schedule arranges for fn to run at the start of the cycle delay cycles
+// from now and returns the effective fire cycle. A delay of zero or less is
+// clamped to one — fn runs at the start of the next cycle — because events
+// can never fire within the cycle that scheduled them (see the package
+// comment's next-cycle guarantee); the returned cycle makes the clamp
+// observable to callers instead of silent.
+func (k *Kernel) Schedule(delay int64, fn func()) int64 {
+	if delay < 1 {
+		delay = 1
+	}
+	k.seq++
+	k.events.push(event{at: k.now + delay, seq: k.seq, fn: fn})
+	k.pending++
+	return k.now + delay
 }
 
 // Step advances the clock one cycle: the cycle counter increments, due
-// events fire in schedule order, then all tickers tick.
+// events fire in schedule order (wake timers reactivate their tickers),
+// then all active tickers tick in registration order, and active Parkers
+// reporting quiescence are parked.
 func (k *Kernel) Step() {
 	k.now++
 	for len(k.events) > 0 && k.events[0].at <= k.now {
-		e := heap.Pop(&k.events).(event)
-		e.fn()
+		e := k.events.pop()
+		if e.fn != nil {
+			k.pending--
+			e.fn()
+		} else {
+			k.Wake(e.wake)
+		}
 	}
-	for _, t := range k.tickers {
-		t.Tick(k.now)
+	for i := range k.slots {
+		s := &k.slots[i]
+		if !s.active {
+			continue
+		}
+		s.t.Tick(k.now)
+		if !k.alwaysTick && s.parker != nil && s.parker.Quiescent() {
+			s.active = false
+			k.active--
+		}
 	}
 }
 
-// Run steps the kernel until the clock reaches cycle end.
+// skipIdle fast-forwards the clock when every ticker is parked: nothing can
+// change state until the next scheduled event (or timer), so jump to the
+// cycle before it and let Step fire it. The clock never passes limit-1, so
+// callers' loop bounds hold exactly. Returns whether a skip happened.
+func (k *Kernel) skipIdle(limit int64) bool {
+	if k.active != 0 || k.alwaysTick {
+		return false
+	}
+	target := limit - 1
+	if len(k.events) > 0 && k.events[0].at-1 < target {
+		target = k.events[0].at - 1
+	}
+	if target <= k.now {
+		return false
+	}
+	k.now = target
+	return true
+}
+
+// Run steps the kernel until the clock reaches cycle end, fast-forwarding
+// through stretches where every ticker is parked.
 func (k *Kernel) Run(end int64) {
 	for k.now < end {
+		k.skipIdle(end)
 		k.Step()
 	}
 }
 
 // RunUntil steps the kernel until done reports true or maxCycles cycles have
-// elapsed, and returns whether done was reached.
+// elapsed, and returns whether done was reached. Stretches where every
+// ticker is parked are fast-forwarded: done is re-evaluated only when
+// something could have changed it.
 func (k *Kernel) RunUntil(done func() bool, maxCycles int64) bool {
 	limit := k.now + maxCycles
 	for k.now < limit {
 		if done() {
 			return true
 		}
+		k.skipIdle(limit)
 		k.Step()
 	}
 	return done()
 }
 
-// Pending reports the number of unfired scheduled events, used by drain
-// checks at the end of a simulation.
-func (k *Kernel) Pending() int { return len(k.events) }
+// Pending reports the number of unfired scheduled callbacks, used by drain
+// checks at the end of a simulation. Parked-ticker wake timers are not
+// counted: they carry no work.
+func (k *Kernel) Pending() int { return k.pending }

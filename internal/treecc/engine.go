@@ -38,6 +38,11 @@ type Engine struct {
 	genCounter uint64 // tree-line generation stamps (see TreeLine.Gen)
 }
 
+func init() {
+	protocol.RegisterEngineBuilder(protocol.KindTree,
+		func(m *protocol.Machine) protocol.Engine { return New(m) })
+}
+
 // New builds the in-network engine on machine m. The mesh runs with the
 // deeper router pipeline (base + tree cache stage); the Figure 10 variant
 // instead keeps the base pipeline and pays an eject/re-inject penalty at

@@ -3,41 +3,39 @@ package verify_test
 import (
 	"testing"
 
-	"innetcc/internal/directory"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
-	"innetcc/internal/treecc"
 	"innetcc/internal/verify"
+
+	// Engine builder registration for protocol.Build.
+	_ "innetcc/internal/directory"
+	_ "innetcc/internal/treecc"
 )
 
 // runEngine drives one coherence engine over a deterministic trace to
 // quiescence and captures its end state. Both engines of a differential
 // pair are handed the same config, profile and seed, so they execute the
 // identical access stream.
-func runEngine(t *testing.T, proto string, p trace.Profile, accesses int, seed uint64) *verify.EndState {
+func runEngine(t *testing.T, kind protocol.EngineKind, p trace.Profile, accesses int, seed uint64) *verify.EndState {
 	t.Helper()
 	cfg := protocol.DefaultConfig()
 	cfg.Seed = seed
-	tr := trace.Generate(p, cfg.Nodes(), accesses, seed)
-	m, err := protocol.NewMachine(cfg, tr, p.Think)
+	m, err := protocol.Build(protocol.Spec{
+		Config: cfg,
+		Trace:  trace.Generate(p, cfg.Nodes(), accesses, seed),
+		Think:  p.Think,
+		Engine: kind,
+	})
 	if err != nil {
-		t.Fatalf("%s/%s: NewMachine: %v", proto, p.Name, err)
-	}
-	switch proto {
-	case "dir":
-		directory.New(m)
-	case "tree":
-		treecc.New(m)
-	default:
-		t.Fatalf("unknown proto %q", proto)
+		t.Fatalf("%s/%s: Build: %v", kind, p.Name, err)
 	}
 	if err := m.Run(20_000_000); err != nil {
-		t.Fatalf("%s/%s: run: %v", proto, p.Name, err)
+		t.Fatalf("%s/%s: run: %v", kind, p.Name, err)
 	}
 	if v := m.Check.Violations(); len(v) > 0 {
-		t.Fatalf("%s/%s: runtime violations: %v", proto, p.Name, v)
+		t.Fatalf("%s/%s: runtime violations: %v", kind, p.Name, v)
 	}
-	return m.EndState(proto + "/" + p.Name)
+	return m.EndState(kind.String() + "/" + p.Name)
 }
 
 // TestEnginesReachEquivalentEndState differentially verifies the two
@@ -51,8 +49,8 @@ func TestEnginesReachEquivalentEndState(t *testing.T) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			t.Parallel()
-			dir := runEngine(t, "dir", p, accesses, seed)
-			tree := runEngine(t, "tree", p, accesses, seed)
+			dir := runEngine(t, protocol.KindDirectory, p, accesses, seed)
+			tree := runEngine(t, protocol.KindTree, p, accesses, seed)
 			if dir.Committed == nil || len(dir.Committed) == 0 {
 				t.Fatalf("dir/%s committed nothing; differential test is vacuous", p.Name)
 			}

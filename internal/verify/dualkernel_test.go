@@ -1,0 +1,93 @@
+package verify_test
+
+import (
+	"reflect"
+	"testing"
+
+	"innetcc/internal/protocol"
+	"innetcc/internal/stats"
+	"innetcc/internal/trace"
+	"innetcc/internal/verify"
+)
+
+// runKernelMode runs one engine over one profile with the active-set
+// kernel optimization on (alwaysTick=false) or off, returning the machine
+// for result comparison.
+func runKernelMode(t *testing.T, kind protocol.EngineKind, p trace.Profile, alwaysTick bool) *protocol.Machine {
+	t.Helper()
+	cfg := protocol.DefaultConfig()
+	cfg.Seed = 42
+	m, err := protocol.Build(protocol.Spec{
+		Config:     cfg,
+		Trace:      trace.Generate(p, cfg.Nodes(), 120, cfg.Seed),
+		Think:      p.Think,
+		Engine:     kind,
+		AlwaysTick: alwaysTick,
+	})
+	if err != nil {
+		t.Fatalf("%s/%s: Build: %v", kind, p.Name, err)
+	}
+	m.ReadSamples = &stats.Sampler{}
+	m.WriteSamples = &stats.Sampler{}
+	if err := m.Run(20_000_000); err != nil {
+		t.Fatalf("%s/%s: run: %v", kind, p.Name, err)
+	}
+	return m
+}
+
+// TestActiveSetKernelByteIdentical is the dual-kernel equivalence proof:
+// the same spec run under the exhaustive always-tick kernel and under the
+// active-set (park/wake + idle fast-forward) kernel must agree exactly —
+// same quiescence cycle, same per-access latency sequences, same counters,
+// same coherence end state. Parking is only legal for a component whose
+// tick would have been a no-op, so any divergence here is a park/wake bug.
+func TestActiveSetKernelByteIdentical(t *testing.T) {
+	profiles := []string{"bar", "wsp", "fft"}
+	for _, kind := range protocol.EngineKinds() {
+		for _, name := range profiles {
+			kind, name := kind, name
+			t.Run(kind.String()+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				p, err := trace.ProfileByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				active := runKernelMode(t, kind, p, false)
+				exhaustive := runKernelMode(t, kind, p, true)
+
+				if a, e := active.Kernel.Now(), exhaustive.Kernel.Now(); a != e {
+					t.Errorf("quiescence cycle diverged: active-set %d, always-tick %d", a, e)
+				}
+				if !reflect.DeepEqual(active.Lat, exhaustive.Lat) {
+					t.Errorf("latency accumulators diverged:\n active-set: %+v\n always-tick: %+v",
+						active.Lat, exhaustive.Lat)
+				}
+				if !reflect.DeepEqual(active.ReadSamples, exhaustive.ReadSamples) {
+					t.Error("read latency distributions diverged")
+				}
+				if !reflect.DeepEqual(active.WriteSamples, exhaustive.WriteSamples) {
+					t.Error("write latency distributions diverged")
+				}
+				if a, e := active.LocalHits, exhaustive.LocalHits; a != e {
+					t.Errorf("local hits diverged: %d vs %d", a, e)
+				}
+				if !reflect.DeepEqual(active.HomeCounts, exhaustive.HomeCounts) {
+					t.Error("home-node access counts diverged")
+				}
+				for _, n := range exhaustive.Counters.Names() {
+					if a, e := active.Counters.Get(n), exhaustive.Counters.Get(n); a != e {
+						t.Errorf("counter %s diverged: %d vs %d", n, a, e)
+					}
+				}
+				label := kind.String() + "/" + name
+				as, es := active.EndState(label), exhaustive.EndState(label)
+				for _, d := range verify.Equivalent(as, es) {
+					t.Error(d)
+				}
+				if !reflect.DeepEqual(as, es) {
+					t.Error("end states not deep-equal (copy sets diverged)")
+				}
+			})
+		}
+	}
+}

@@ -25,3 +25,30 @@ go test ./internal/trace -fuzz '^FuzzRead$' -fuzztime 10s
 # experiment across parallel workers, with CSV export and flight dumping.
 go run -race ./cmd/innetcc -exp fig5 -accesses 80 -jobs 4 -metrics \
     -metrics-out "$(mktemp -d)/metrics.csv" -flight-dump >/dev/null
+
+# Kernel benchmark smoke: the active-set kernel against its always-tick
+# control on the 64-node low-injection mesh, recorded as BENCH_kernel.json
+# so regressions in the idle-skip machinery show up in review diffs. One
+# iteration by default (a smoke, not a measurement); set KERNEL_BENCHTIME
+# (e.g. 5x) to refresh the committed numbers.
+: "${KERNEL_BENCHTIME:=1x}"
+go test -run '^$' -bench 'KernelIdleMesh' -benchtime "$KERNEL_BENCHTIME" . |
+    awk '
+        $1 ~ /^BenchmarkKernelIdleMesh/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            ns[name] = $3; cycles[name] = $5
+        }
+        END {
+            a = ns["BenchmarkKernelIdleMesh"]
+            t = ns["BenchmarkKernelIdleMeshAlwaysTick"]
+            if (a == "" || t == "") { print "bench output missing" > "/dev/stderr"; exit 1 }
+            printf "{\n"
+            printf "  \"benchmark\": \"KernelIdleMesh\",\n"
+            printf "  \"config\": \"8x8 mesh, tree engine, bar profile, think=200, 120 accesses/node\",\n"
+            printf "  \"active_set_ns_per_op\": %s,\n", a
+            printf "  \"always_tick_ns_per_op\": %s,\n", t
+            printf "  \"sim_cycles\": %s,\n", cycles["BenchmarkKernelIdleMesh"]
+            printf "  \"speedup\": %.2f\n", t / a
+            printf "}\n"
+        }' > BENCH_kernel.json
+cat BENCH_kernel.json
