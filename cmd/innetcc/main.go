@@ -20,6 +20,7 @@
 //	innetcc -exp fig5 -metrics       # + latency breakdown / NoC tables
 //	innetcc -exp fig5 -metrics -metrics-out m.csv   # export (.json for JSON)
 //	innetcc -exp fig5 -flight-dump   # + per-job protocol event ring
+//	innetcc -exp fig5 -faults drop=2000,retries=4 -watchdog 2000000 -retries 1
 //
 // -metrics attaches the cycle-level observability layer (internal/metrics)
 // to every simulation: per-router link utilization and queue occupancy,
@@ -77,6 +78,9 @@ func main() {
 	metricsOn := flag.Bool("metrics", false, "attach the cycle-level observability layer and print per-job metric tables")
 	metricsOut := flag.String("metrics-out", "", "export collected metrics to this file (.json = JSON, anything else = sectioned CSV); implies -metrics")
 	flightDump := flag.Bool("flight-dump", false, "print each job's flight-recorder event ring; implies -metrics")
+	faults := flag.String("faults", "", "fault injection spec, e.g. \"drop=2000,timeout=20000,retries=4\" (see internal/fault; empty = off)")
+	watchdog := flag.Int64("watchdog", 0, "hang watchdog window in cycles: fail a run making no progress for this long (0 = off)")
+	retries := flag.Int("retries", 0, "re-run a transiently failed job (hang, retry budget) this many times with derived sub-seeds")
 	flag.Parse()
 
 	if *list {
@@ -91,6 +95,9 @@ func main() {
 		CacheDir:          *cacheDir,
 		Metrics:           *metricsOn || *metricsOut != "" || *flightDump,
 		FlightDump:        *flightDump,
+		Faults:            *faults,
+		Watchdog:          *watchdog,
+		Retries:           *retries,
 	}.WithDefaults()
 	if err := opt.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "innetcc:", err)

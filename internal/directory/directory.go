@@ -93,7 +93,8 @@ func (e *Engine) StartMiss(node int, addr uint64, write bool, now int64) {
 	if write {
 		t = protocol.WrReq
 	}
-	msg := &protocol.Msg{Type: t, Addr: addr, Requester: node, IssuedAt: now}
+	msg := &protocol.Msg{Type: t, Addr: addr, Requester: node, IssuedAt: now,
+		Attempt: e.m.CurrentAttempt(node)}
 	e.send(node, e.m.Cfg.Home(addr), msg, now)
 }
 
@@ -144,13 +145,13 @@ func (e *Engine) handleReq(home int, msg *protocol.Msg) {
 			e.m.Counters.Inc("dir.fwds", 1)
 			e.m.Metrics.Add(metrics.CDirFwd, 1)
 			e.m.Metrics.Event(now, metrics.EvDirFwd, int16(home), msg.Addr, int64(ep.owner))
-			e.send(home, ep.owner, &protocol.Msg{Type: protocol.Fwd, Addr: msg.Addr, Requester: msg.Requester}, now)
+			e.send(home, ep.owner, &protocol.Msg{Type: protocol.Fwd, Addr: msg.Addr, Requester: msg.Requester, Attempt: msg.Attempt}, now)
 		case ok && ep.sharers != 0:
 			ep.busy = true
 			e.m.Counters.Inc("dir.fwds", 1)
 			e.m.Metrics.Add(metrics.CDirFwd, 1)
 			e.m.Metrics.Event(now, metrics.EvDirFwd, int16(home), msg.Addr, int64(firstSharer(ep.sharers)))
-			e.send(home, firstSharer(ep.sharers), &protocol.Msg{Type: protocol.Fwd, Addr: msg.Addr, Requester: msg.Requester}, now)
+			e.send(home, firstSharer(ep.sharers), &protocol.Msg{Type: protocol.Fwd, Addr: msg.Addr, Requester: msg.Requester, Attempt: msg.Attempt}, now)
 		default:
 			if !ok {
 				if ep = e.allocEntry(home, msg); ep == nil {
@@ -239,7 +240,8 @@ func (e *Engine) finishRead(home int, msg *protocol.Msg, version uint64) {
 	ep.sharers |= bit(msg.Requester)
 	ep.busy = false
 	reply := &protocol.Msg{Type: protocol.RdReply, Addr: msg.Addr, Requester: msg.Requester,
-		Version: version, IssuedAt: msg.IssuedAt, DeadlockCycles: msg.DeadlockCycles}
+		Version: version, IssuedAt: msg.IssuedAt, DeadlockCycles: msg.DeadlockCycles,
+		Attempt: msg.Attempt}
 	e.send(home, msg.Requester, reply, now)
 	e.drainQueue(home, msg.Addr, ep)
 }
@@ -257,7 +259,7 @@ func (e *Engine) grantWrite(home int, msg *protocol.Msg, ep *dirEntry) {
 	ep.busy = false
 	ep.pendingWr = nil
 	reply := &protocol.Msg{Type: protocol.WrReply, Addr: msg.Addr, Requester: msg.Requester,
-		IssuedAt: msg.IssuedAt, DeadlockCycles: msg.DeadlockCycles}
+		IssuedAt: msg.IssuedAt, DeadlockCycles: msg.DeadlockCycles, Attempt: msg.Attempt}
 	e.send(home, msg.Requester, reply, now)
 	e.drainQueue(home, msg.Addr, ep)
 }
@@ -268,7 +270,7 @@ func (e *Engine) handleFwd(node int, msg *protocol.Msg) {
 	home := e.m.Cfg.Home(msg.Addr)
 	line, ok := e.m.PeekLine(node, msg.Addr)
 	if !ok {
-		e.send(node, home, &protocol.Msg{Type: protocol.FwdMiss, Addr: msg.Addr, Requester: msg.Requester}, now)
+		e.send(node, home, &protocol.Msg{Type: protocol.FwdMiss, Addr: msg.Addr, Requester: msg.Requester, Attempt: msg.Attempt}, now)
 		return
 	}
 	if line.State == protocol.Modified {
@@ -278,7 +280,8 @@ func (e *Engine) handleFwd(node int, msg *protocol.Msg) {
 	}
 	e.m.Check.SampleRead(msg.Addr, line.Version, e.m.Mem.Peek(msg.Addr), msg.Requester, now)
 	e.send(node, msg.Requester, &protocol.Msg{Type: protocol.RdReply, Addr: msg.Addr,
-		Requester: msg.Requester, Version: line.Version, IssuedAt: msg.IssuedAt}, now)
+		Requester: msg.Requester, Version: line.Version, IssuedAt: msg.IssuedAt,
+		Attempt: msg.Attempt}, now)
 	e.send(node, home, &protocol.Msg{Type: protocol.FwdDone, Addr: msg.Addr, Requester: msg.Requester}, now)
 }
 
@@ -308,7 +311,7 @@ func (e *Engine) handleFwdMiss(home int, msg *protocol.Msg, src int) {
 		}
 		ep.busy = false
 	}
-	retry := &protocol.Msg{Type: protocol.RdReq, Addr: msg.Addr, Requester: msg.Requester, IssuedAt: msg.IssuedAt, DeadlockCycles: msg.DeadlockCycles}
+	retry := &protocol.Msg{Type: protocol.RdReq, Addr: msg.Addr, Requester: msg.Requester, IssuedAt: msg.IssuedAt, DeadlockCycles: msg.DeadlockCycles, Attempt: msg.Attempt}
 	e.handleReq(home, retry)
 }
 
@@ -371,6 +374,9 @@ func (e *Engine) handleWbNotice(home int, msg *protocol.Msg) {
 
 // handleRdReply completes a read at the requester.
 func (e *Engine) handleRdReply(node int, msg *protocol.Msg) {
+	if e.m.DropStaleReply(node, msg) {
+		return // reply of an abandoned reissue epoch; the live one completes
+	}
 	now := e.m.Kernel.Now()
 	if e.pendingInval[node][msg.Addr] {
 		delete(e.pendingInval[node], msg.Addr)
@@ -385,6 +391,9 @@ func (e *Engine) handleRdReply(node int, msg *protocol.Msg) {
 // handleWrReply completes a write at the requester: the write serializes
 // here, after all invalidations were acknowledged.
 func (e *Engine) handleWrReply(node int, msg *protocol.Msg) {
+	if e.m.DropStaleReply(node, msg) {
+		return // must not CommitWrite twice: each access commits exactly once
+	}
 	now := e.m.Kernel.Now()
 	delete(e.pendingInval[node], msg.Addr)
 	v := e.m.Check.CommitWrite(msg.Addr, node, now)

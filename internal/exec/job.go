@@ -33,7 +33,7 @@ const DefaultMaxCycles = 200_000_000
 // specVersion invalidates cached results when the result schema or the
 // simulation semantics change incompatibly. Bump it on any change that
 // alters what a given spec computes.
-const specVersion = 3 // v3: Job.Engine (protocol.EngineKind) replaces Job.Proto
+const specVersion = 4 // v4: fault injection (Job.Faults) and transient retries (Job.Retries)
 
 // Job describes one hermetic simulation: which engine to run, on which
 // configuration, over which synthetic trace. Everything the simulation
@@ -69,6 +69,18 @@ type Job struct {
 	// (Result.Metrics). Purely observational: enabling it never changes
 	// the simulation outcome, only what the result carries.
 	Metrics MetricsSpec
+
+	// Faults, when non-empty, is a fault.ParseSpec string arming
+	// deterministic fault injection and the protocol's retry knobs. The
+	// plan seed derives from the job seed, so a faulty run is as
+	// reproducible as a clean one. Empty means no injection.
+	Faults string
+
+	// Retries is how many times a transiently failed attempt (hang
+	// watchdog, retry budget exhausted) is re-run with a derived sub-seed
+	// before the failure is reported. Deterministic failures (panics,
+	// validation errors, coherence violations) are never retried.
+	Retries int
 }
 
 // SeedKey identifies the job's random stream: jobs over the same trace
@@ -126,6 +138,8 @@ type hashSpec struct {
 	MaxCycles   int64
 	CollectHops bool
 	Metrics     MetricsSpec
+	Faults      string
+	Retries     int
 }
 
 // Hash returns the content hash of the job spec, used as the cache key.
@@ -141,6 +155,8 @@ func (j Job) Hash() string {
 		MaxCycles:   j.maxCycles(),
 		CollectHops: j.CollectHops,
 		Metrics:     j.Metrics,
+		Faults:      j.Faults,
+		Retries:     j.Retries,
 	}
 	spec.Config.Seed = 0
 	b, err := json.Marshal(spec) // struct marshal: deterministic field order
@@ -204,6 +220,14 @@ type Result struct {
 	// MetricsSpec enabled it). On failure it still carries whatever the
 	// collector captured up to the fault, including the flight ring.
 	Metrics *MetricsOut `json:",omitempty"`
+
+	// Attempts is how many times the job was simulated (1 for a clean
+	// first run; >1 when transient failures were retried). Transient
+	// reports whether the final error was a transient fault-layer failure
+	// — a hang or an exhausted retry budget — rather than a deterministic
+	// one; it is false on success.
+	Attempts  int  `json:",omitempty"`
+	Transient bool `json:",omitempty"`
 
 	// Key mirrors the job's display label; Cached reports whether the
 	// result was served from the on-disk cache. Neither is persisted.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"innetcc/internal/directory"
+	"innetcc/internal/fault"
 	"innetcc/internal/protocol"
 	"innetcc/internal/stats"
 	"innetcc/internal/trace"
@@ -68,7 +69,7 @@ func (p *Pool) Run(jobs []Job) []Result {
 }
 
 // runOne executes a single job: cache lookup, simulation behind a panic
-// barrier, cache fill.
+// barrier (with transient-failure retries), cache fill.
 func (p *Pool) runOne(job Job) (res Result) {
 	var hash string
 	if p.Cache != nil {
@@ -79,7 +80,18 @@ func (p *Pool) runOne(job Job) (res Result) {
 			return r
 		}
 	}
-	res = simulate(job)
+	// Transient failures — a tripped hang watchdog or an exhausted
+	// protocol retry budget — are re-run with a derived sub-seed up to
+	// job.Retries times. Each attempt is itself fully deterministic, so
+	// the whole sequence (and the attempt count recorded in the result)
+	// replays identically; deterministic failures surface immediately.
+	for attempt := 0; ; attempt++ {
+		res = simulate(job, attempt)
+		res.Attempts = attempt + 1
+		if !res.Failed() || !res.Transient || attempt >= job.Retries {
+			break
+		}
+	}
 	res.Key = job.Key
 	if p.Cache != nil {
 		p.Cache.Put(hash, res)
@@ -87,10 +99,12 @@ func (p *Pool) runOne(job Job) (res Result) {
 	return res
 }
 
-// simulate runs the job's simulation to quiescence. Panics anywhere in the
-// protocol or network stack are recovered into the job's Result so one
-// diverging configuration cannot take down the batch.
-func simulate(job Job) (res Result) {
+// simulate runs one attempt of the job's simulation to quiescence. Panics
+// anywhere in the protocol or network stack are recovered into the job's
+// Result so one diverging configuration cannot take down the batch.
+// Attempt 0 uses the job seed; retry attempts derive a sub-seed from it, so
+// every attempt is reproducible in isolation.
+func simulate(job Job, attempt int) (res Result) {
 	col := collectorFor(job.Metrics)
 	defer func() {
 		if r := recover(); r != nil {
@@ -99,14 +113,30 @@ func simulate(job Job) (res Result) {
 	}()
 
 	seed := job.Seed()
+	if attempt > 0 {
+		seed = DeriveSeed(seed, fmt.Sprintf("retry/%d", attempt))
+	}
 	cfg := job.Config
 	cfg.Seed = seed
+	var plan *fault.Plan
+	if job.Faults != "" {
+		fspec, err := fault.ParseSpec(job.Faults)
+		if err != nil {
+			return Result{Err: "exec: bad fault spec: " + err.Error()}
+		}
+		cfg.RetryTimeout = fspec.Timeout
+		cfg.RetryBudget = fspec.Budget
+		cfg.RetryBackoff = fspec.Backoff
+		cfg.ProbeInterval = fspec.Probe
+		plan = &fault.Plan{Spec: fspec, Seed: DeriveSeed(seed, "fault")}
+	}
 	m, err := protocol.Build(protocol.Spec{
 		Config:  cfg,
 		Trace:   trace.Generate(job.Profile, cfg.Nodes(), job.Accesses, seed),
 		Think:   job.Profile.Think,
 		Engine:  job.Engine,
 		Metrics: col,
+		Faults:  plan,
 	})
 	if err != nil {
 		return Result{Err: err.Error(), Metrics: metricsOut(col, true)}
@@ -139,8 +169,9 @@ func simulate(job Job) (res Result) {
 
 	if err := m.Run(job.maxCycles()); err != nil {
 		return Result{
-			Err:     fmt.Sprintf("%s %s: %v", job.Profile.Name, job.Engine, err),
-			Metrics: metricsOut(col, true),
+			Err:       fmt.Sprintf("%s %s: %v", job.Profile.Name, job.Engine, err),
+			Transient: fault.Transient(err),
+			Metrics:   metricsOut(col, true),
 		}
 	}
 

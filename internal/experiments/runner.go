@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"innetcc/internal/exec"
+	"innetcc/internal/fault"
 	"innetcc/internal/protocol"
 	"innetcc/internal/stats"
 	"innetcc/internal/trace"
@@ -49,6 +50,23 @@ type Options struct {
 	// MetricsLog, when non-nil, accumulates each metrics-carrying result
 	// for reporting and export after the experiment's own tables.
 	MetricsLog *MetricsLog
+
+	// Faults, when non-empty, is a fault.ParseSpec string applied to every
+	// job the experiment runs: deterministic link-fault injection plus the
+	// protocol's timeout/retry knobs. Empty (the default) injects nothing
+	// and leaves runs byte-identical to a fault-free build.
+	Faults string
+
+	// Watchdog arms the kernel hang watchdog on every job: a run making no
+	// progress for this many cycles while work is outstanding fails loudly
+	// with a reproducer seed instead of burning its full cycle bound.
+	// Zero disables it.
+	Watchdog int64
+
+	// Retries is the per-job transient-failure retry budget (see
+	// exec.Job.Retries). Zero means transient failures fail the row on
+	// first occurrence.
+	Retries int
 }
 
 // WithDefaults returns a copy of o with unset (zero) scaling fields filled
@@ -84,6 +102,17 @@ func (o Options) Validate() error {
 	if o.FlightDump && !o.Metrics {
 		return fmt.Errorf("experiments: FlightDump requires Metrics")
 	}
+	if o.Faults != "" {
+		if _, err := fault.ParseSpec(o.Faults); err != nil {
+			return fmt.Errorf("experiments: %v", err)
+		}
+	}
+	if o.Watchdog < 0 {
+		return fmt.Errorf("experiments: Watchdog must be non-negative, got %d", o.Watchdog)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("experiments: Retries must be non-negative, got %d", o.Retries)
+	}
 	return nil
 }
 
@@ -104,6 +133,15 @@ func runJobs(opt Options, jobs []exec.Job) ([]exec.Result, error) {
 	if opt.Metrics {
 		for i := range jobs {
 			jobs[i].Metrics = exec.MetricsSpec{Enabled: true, FlightDump: opt.FlightDump}
+		}
+	}
+	if opt.Faults != "" || opt.Watchdog > 0 || opt.Retries > 0 {
+		for i := range jobs {
+			jobs[i].Faults = opt.Faults
+			jobs[i].Retries = opt.Retries
+			// Config is part of the cache identity, so arming the
+			// watchdog through it invalidates stale cached rows for free.
+			jobs[i].Config.WatchdogCycles = opt.Watchdog
 		}
 	}
 	p := &exec.Pool{Workers: opt.Jobs}

@@ -1,0 +1,46 @@
+package fault
+
+import "testing"
+
+// FuzzParseSpec holds the parser's contract over arbitrary input: it either
+// rejects the string or returns a validated spec whose canonical String()
+// form parses back to the identical spec, and whose plans are deterministic
+// functions of the seed.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("drop=500")
+	f.Add("drop=1000000,corrupt=1,stall=999999,stalllen=3,window=0:100,scope=all,timeout=1,retries=9,backoff=2,probe=5")
+	f.Add("window=10:,scope=req")
+	f.Add("stall=250000,stalllen=64")
+	f.Add("drop=1000001")
+	f.Add("scope=all,scope=req")
+	f.Add("  drop = 5 ")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return // rejected input: nothing else to hold
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) returned invalid spec %+v: %v", text, s, verr)
+		}
+		canon := s.String()
+		back, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not parse: %v", canon, text, err)
+		}
+		if back != s {
+			t.Fatalf("canonical round trip of %q: %+v != %+v", text, back, s)
+		}
+		// Same seed, same schedule — sampled over a small site grid.
+		p1, p2 := s.Plan(0x5eed), s.Plan(0x5eed)
+		for cycle := int64(0); cycle < 64; cycle++ {
+			for port := 0; port < 3; port++ {
+				if p1.DropAt(cycle, 1, port) != p2.DropAt(cycle, 1, port) ||
+					p1.CorruptAt(cycle, 1, port) != p2.CorruptAt(cycle, 1, port) ||
+					p1.StallAt(cycle, 1, port) != p2.StallAt(cycle, 1, port) {
+					t.Fatalf("plan of %q is not deterministic at cycle %d port %d", text, cycle, port)
+				}
+			}
+		}
+	})
+}

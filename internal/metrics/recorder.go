@@ -53,6 +53,13 @@ const (
 	// EvDirInval: the baseline directory sent an invalidation
 	// (Aux: target node).
 	EvDirInval
+	// EvFaultDrop: the fault layer removed a packet from the network
+	// (Aux: the fault.DropReason). Node is the requester the packet was
+	// serving, -1 for non-protocol payloads.
+	EvFaultDrop
+	// EvRetry: a node reissued its outstanding access after a drop NACK
+	// or reply timeout (Aux: the new attempt number).
+	EvRetry
 
 	numEventKinds
 )
@@ -92,6 +99,10 @@ func (k EventKind) String() string {
 		return "dir_fwd"
 	case EvDirInval:
 		return "dir_inval"
+	case EvFaultDrop:
+		return "fault_drop"
+	case EvRetry:
+		return "retry"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

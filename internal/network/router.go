@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"innetcc/internal/fault"
 	"innetcc/internal/metrics"
 	"innetcc/internal/sim"
 )
@@ -111,6 +112,22 @@ type Mesh struct {
 	// handler runs. Observational only.
 	DeliverFn func(p *Packet, consumed bool, now int64)
 
+	// Faults, when non-nil, arms deterministic fault injection: packets
+	// are checksummed at injection and verified before every routing
+	// decision, and the injector's plan is consulted at each inter-router
+	// link grant for drops, corruptions and stalls. Local ejection ports
+	// are never faulted — drops model link failures, and losing a packet
+	// inside a node's NIC hand-off would wedge protocol serialization
+	// state no retry can release.
+	Faults *fault.Injector
+
+	// DropFn, when non-nil, is invoked synchronously for every packet
+	// the fault layer removes (injected drops and checksum discards),
+	// before the packet is recycled. The protocol layer uses it as a
+	// NACK source: a dropped request chain triggers an immediate
+	// backoff-and-reissue instead of waiting out the reply timeout.
+	DropFn func(p *Packet, reason fault.DropReason, now int64)
+
 	// TotalHops and DeliveredPackets accumulate across the run.
 	TotalHops        int64
 	DeliveredPackets int64
@@ -198,6 +215,9 @@ func (m *Mesh) Inject(node int, p *Packet, now int64) {
 	p.routed = false
 	p.stallStart = 0
 	p.serialWait = 0
+	if m.Faults != nil {
+		p.Checksum = ChecksumOf(p)
+	}
 	m.InFlight++
 	r.enqueue(Local, int(p.Class)%m.VCCount, fifoEntry{pkt: p, readyAt: now + m.Pipeline + r.ExtraHopDelay})
 }
@@ -214,6 +234,9 @@ func (m *Mesh) spawn(node int, p *Packet, now int64) {
 	p.routed = false
 	p.stallStart = 0
 	p.serialWait = 0
+	if m.Faults != nil {
+		p.Checksum = ChecksumOf(p)
+	}
 	m.InFlight++
 	delay := m.Pipeline + r.ExtraHopDelay
 	if p.Expedited {
@@ -247,6 +270,19 @@ func (r *Router) Tick(now int64) {
 				continue
 			}
 			p := h.pkt
+			if inj := m.Faults; inj != nil && p.Checksum != ChecksumOf(p) {
+				// Corruption detected: discard before the policy (and
+				// its tree-cache side effects) ever sees the packet.
+				inj.ChecksumDrops++
+				r.in[port][vc].pop()
+				r.queued--
+				m.InFlight--
+				if m.DropFn != nil {
+					m.DropFn(p, fault.DropChecksum, now)
+				}
+				m.recycle(p)
+				continue
+			}
 			st := m.Policy.Route(r, p, now)
 			for _, sp := range st.Spawn {
 				m.spawn(r.NodeID, sp, now)
@@ -289,6 +325,12 @@ func (r *Router) Tick(now int64) {
 	// in-network protocol's correctness argument requires.
 	nSlots := numInPorts * m.VCCount
 	for out := 0; out < numOutPorts; out++ {
+		if inj := m.Faults; inj != nil && Dir(out) != Local &&
+			inj.StallAt(now, r.NodeID, out) {
+			// The link is frozen by a stall fault this cycle: no grant,
+			// exactly as if it were still serializing.
+			continue
+		}
 		if r.busyTill[out] > now {
 			if nm != nil {
 				// The link is still serializing a previous packet's
@@ -324,6 +366,21 @@ func (r *Router) Tick(now int64) {
 		r.queued--
 		p := e.pkt
 		p.routed = false
+		if inj := m.Faults; inj != nil && Dir(out) != Local &&
+			(inj.Plan.Spec.Scope == fault.ScopeAll || p.Retryable) &&
+			inj.DropAt(now, r.NodeID, out) {
+			// The packet is lost on the link: it leaves the network
+			// without being delivered (no hop/delivery accounting, no
+			// link occupancy) and the protocol is notified so it can
+			// reissue. The grant slot is consumed — a drop does not
+			// free the cycle for the next-oldest packet.
+			m.InFlight--
+			if m.DropFn != nil {
+				m.DropFn(p, fault.DropInjected, now)
+			}
+			m.recycle(p)
+			continue
+		}
 		r.busyTill[out] = now + int64(p.Flits)
 		if nm != nil {
 			oi := nm.OutIdx(r.NodeID, out)
@@ -348,6 +405,11 @@ func (r *Router) Tick(now int64) {
 			panic(fmt.Sprintf("network: packet %d routed off-mesh %v from node %d", p.ID, Dir(out), r.NodeID))
 		}
 		next := m.Routers[nb]
+		if inj := m.Faults; inj != nil && inj.CorruptAt(now, r.NodeID, out) {
+			// Flip the integrity word on the wire; the neighbor's
+			// verification discards the packet before routing it.
+			p.Checksum = ^p.Checksum
+		}
 		p.ArrivalDir = Dir(out).Opposite()
 		p.Hops++
 		next.enqueue(p.ArrivalDir, vc, fifoEntry{pkt: p, readyAt: now + 1 + m.Pipeline + next.ExtraHopDelay})

@@ -94,6 +94,19 @@ type Packet struct {
 	// in-network protocol uses it to orient new virtual tree links.
 	ArrivalDir Dir
 
+	// Checksum is the packet's header integrity word. When fault
+	// injection is armed, Inject/spawn stamp it (Checksum over the
+	// immutable header fields) and every router verifies it before
+	// routing; a corruption fault flips it on a link and the next
+	// router's mismatch check discards the packet. Zero and unchecked
+	// when the mesh has no fault injector.
+	Checksum uint64
+
+	// Retryable marks packets the protocol layer can reissue from
+	// scratch (coherence requests); default-scope fault plans drop only
+	// these, keeping every run recoverable within the retry budget.
+	Retryable bool
+
 	// Expedited marks protocol-spawned continuation packets (teardowns
 	// and acks percolating along tree links) whose routing work was
 	// already performed by the pipeline stage that spawned them: they
@@ -130,6 +143,22 @@ type Packet struct {
 // SerialWait returns the accumulated link-serialization wait, for the
 // metrics latency decomposition. Zero unless mesh metrics are enabled.
 func (p *Packet) SerialWait() int64 { return p.serialWait }
+
+// ChecksumOf computes p's header integrity word: a splitmix64 mix over the
+// fields that never change in flight (ID, Src, Dst, Class, Flits). The
+// payload is excluded deliberately — it is a protocol message the engines
+// mutate hop by hop — so the word is stable from injection to ejection
+// unless a fault flips it.
+func ChecksumOf(p *Packet) uint64 {
+	x := p.ID*0x9E3779B97F4A7C15 ^
+		uint64(p.Src)<<1 ^ uint64(p.Dst)<<17 ^
+		uint64(p.Class)<<33 ^ uint64(p.Flits)<<41
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
 
 // StallCycles returns how long the packet has been stalled at the current
 // router, or 0 if it is not stalled.

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"strings"
 
 	"innetcc/internal/cache"
+	"innetcc/internal/fault"
 	"innetcc/internal/memory"
 	"innetcc/internal/metrics"
 	"innetcc/internal/network"
@@ -69,6 +72,12 @@ type Node struct {
 	issueAt     int64
 	nextIssue   int64
 	rng         *sim.RNG
+
+	// attempt is the fault-recovery reissue epoch of the outstanding
+	// access and retryAt its current reply deadline; both are dead
+	// fields unless Config.RetryTimeout arms the retry layer.
+	attempt uint16
+	retryAt int64
 }
 
 // Done reports whether the node has issued and completed its whole stream.
@@ -127,6 +136,17 @@ type Machine struct {
 	tid         sim.TickerID
 	nextWake    int64
 	wakeTimerAt int64
+
+	// Fault layer state: the live injector (nil when the spec's plan
+	// injects nothing), whether timeout/retry is armed, the hang-dump
+	// destination, the first fatal fault error (latched by fail; checked
+	// by Run's done predicate so the run stops at the failing cycle),
+	// and the one-shot guard for the invariant probe.
+	faults       *fault.Injector
+	retryOn      bool
+	hangDump     string
+	fatal        error
+	probeStarted bool
 }
 
 // netAcc is the per-outstanding-access network time attribution: total
@@ -168,6 +188,11 @@ func newMachine(spec Spec) (*Machine, error) {
 		think:      think,
 		nicBusy:    make([]int64, cfg.Nodes()),
 		accNet:     make([]netAcc, cfg.Nodes()),
+		retryOn:    cfg.RetryTimeout > 0,
+		hangDump:   spec.HangDumpPath,
+	}
+	if spec.Faults != nil && spec.Faults.Spec.Injecting() {
+		m.faults = &fault.Injector{Plan: *spec.Faults}
 	}
 	for i := 0; i < cfg.Nodes(); i++ {
 		m.Nodes = append(m.Nodes, &Node{
@@ -192,6 +217,16 @@ func (m *Machine) AttachEngine(e Engine, mesh *network.Mesh) {
 		mesh.Metrics = c.NoC
 		mesh.DeliverFn = m.observeDelivery
 	}
+	if m.faults != nil {
+		mesh.Faults = m.faults
+		mesh.DropFn = m.onPacketDrop
+	}
+	if w := m.Cfg.WatchdogCycles; w > 0 {
+		// Progress = packets delivered plus local hits: any cycle in
+		// which the system moves forward advances one of these (or
+		// fires a kernel event, which the kernel counts itself).
+		m.Kernel.SetWatchdog(w, func() int64 { return mesh.DeliveredPackets + m.LocalHits })
+	}
 }
 
 // Engine returns the attached coherence engine.
@@ -215,7 +250,17 @@ func (m *Machine) Tick(now int64) {
 	}
 	m.nextWake = math.MaxInt64
 	for _, n := range m.Nodes {
-		if n.outstanding || n.idx >= len(n.stream) {
+		if n.outstanding {
+			if m.retryOn {
+				if now >= n.retryAt {
+					m.retryOutstanding(n, now)
+				} else {
+					m.noteWake(n.retryAt)
+				}
+			}
+			continue
+		}
+		if n.idx >= len(n.stream) {
 			continue
 		}
 		if now < n.nextIssue {
@@ -251,6 +296,11 @@ func (m *Machine) Tick(now int64) {
 		}
 		n.outstanding = true
 		n.issueAt = now
+		if m.retryOn {
+			n.attempt = 0
+			n.retryAt = now + m.Cfg.RetryTimeout
+			m.noteWake(n.retryAt)
+		}
 		m.HomeCounts[m.Cfg.Home(acc.Addr)]++
 		if c := m.Metrics; c != nil {
 			aux := int64(0)
@@ -479,6 +529,10 @@ func (m *Machine) NewPacket(src, dst int, msg *Msg) *network.Packet {
 	p.Dst = dst
 	p.Flits = flits
 	p.Payload = msg
+	// Coherence requests can be reissued from scratch by the fault
+	// layer's retry; everything else (replies, invalidations, teardowns)
+	// carries protocol state that cannot be replayed.
+	p.Retryable = msg.Type == RdReq || msg.Type == WrReq
 	return p
 }
 
@@ -498,19 +552,34 @@ func (m *Machine) Quiesced() bool {
 	return m.AllDone() && m.Mesh.InFlight == 0 && m.engine.Quiesced() && m.Kernel.Pending() == 0
 }
 
-// Run executes the simulation until quiescence or maxCycles, returning an
-// error describing stuck state on timeout. It also reports any verification
-// violations as an error.
+// Run executes the simulation until quiescence, a fatal fault-layer error
+// (retry exhaustion, invariant violation), a watchdog trip, or maxCycles.
+// A run that fails to quiesce returns a typed *fault.HangError carrying
+// the reproducer seed and the stuck report (and writes the hang dump when
+// the spec configured a path); verification violations are reported as an
+// error as before.
 func (m *Machine) Run(maxCycles int64) error {
 	if m.engine == nil {
 		return fmt.Errorf("protocol: no engine attached")
 	}
-	done := m.Kernel.RunUntil(m.Quiesced, maxCycles)
+	m.startInvariantProbe()
+	done := m.Kernel.RunUntil(func() bool { return m.fatal != nil || m.Quiesced() }, maxCycles)
 	if c := m.Metrics; c != nil && c.NoC != nil {
 		c.NoC.Cycles = m.Kernel.Now()
 	}
+	m.foldFaultCounters()
+	if m.fatal != nil {
+		return m.fatal
+	}
 	if !done {
-		return fmt.Errorf("protocol: stuck after %d cycles: %s", m.Kernel.Now(), m.stuckReport())
+		herr := &fault.HangError{
+			Cycle:    m.Kernel.Now(),
+			Seed:     m.Cfg.Seed,
+			Watchdog: m.Kernel.Hung(),
+			Report:   m.stuckReport(),
+		}
+		m.writeHangDump(herr)
+		return herr
 	}
 	if v := m.Check.Violations(); len(v) > 0 {
 		return fmt.Errorf("protocol: %d verification violations, first: %s", len(v), v[0])
@@ -529,6 +598,39 @@ func (m *Machine) stuckReport() string {
 			}
 		}
 	}
-	return fmt.Sprintf("%d nodes unfinished, %d packets in flight, engine quiesced=%v, %d events pending; %s",
-		waiting, m.Mesh.InFlight, m.engine.Quiesced(), m.Kernel.Pending(), sample)
+	return fmt.Sprintf("%d nodes unfinished, %d packets in flight, engine quiesced=%v, %d events pending; %s; router queues: %s",
+		waiting, m.Mesh.InFlight, m.engine.Quiesced(), m.Kernel.Pending(), sample, m.queueOccupancy(8))
+}
+
+// queueOccupancy renders the non-empty router input queues, largest first,
+// capped at limit entries (the hang dump passes no cap).
+func (m *Machine) queueOccupancy(limit int) string {
+	type occ struct{ node, queued int }
+	var occs []occ
+	for _, r := range m.Mesh.Routers {
+		if q := r.QueuedPackets(); q > 0 {
+			occs = append(occs, occ{r.NodeID, q})
+		}
+	}
+	if len(occs) == 0 {
+		return "all empty"
+	}
+	sort.Slice(occs, func(i, j int) bool {
+		if occs[i].queued != occs[j].queued {
+			return occs[i].queued > occs[j].queued
+		}
+		return occs[i].node < occs[j].node
+	})
+	var b strings.Builder
+	for i, o := range occs {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(&b, " +%d more", len(occs)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "n%d=%d", o.node, o.queued)
+	}
+	return b.String()
 }

@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 
+	"innetcc/internal/fault"
 	"innetcc/internal/metrics"
 	"innetcc/internal/trace"
 )
@@ -137,6 +138,21 @@ type Spec struct {
 	// asserts it); the switch exists for that differential test and for
 	// debugging suspected park/wake bugs.
 	AlwaysTick bool
+
+	// Faults, when non-nil and injecting, arms the mesh's deterministic
+	// fault injector with this plan. A nil plan — or a plan whose spec
+	// injects nothing — leaves the network entirely untouched (no
+	// checksum stamping, no per-grant sampling), so fault-free runs are
+	// byte-identical to builds without the fault layer. The recovery
+	// side (timeout/retry, watchdog, probe) is configured separately
+	// through Config so it can run with or without injection.
+	Faults *fault.Plan
+
+	// HangDumpPath, when non-empty, is the file Run writes the hang dump
+	// to (stuck report, per-router queue occupancy, flight-recorder
+	// tail) if the run fails to quiesce. It is diagnostic output only
+	// and must never enter a job's cache identity.
+	HangDumpPath string
 }
 
 // Validate reports spec errors without building anything.
@@ -152,6 +168,11 @@ func (s Spec) Validate() error {
 	}
 	if s.Engine >= numEngineKinds {
 		return fmt.Errorf("protocol: unknown engine kind %d", s.Engine)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Spec.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -147,6 +147,18 @@ type Kernel struct {
 	pending    int // scheduled callbacks (fn events) not yet fired
 	rng        *RNG
 	alwaysTick bool
+
+	// Hang watchdog (SetWatchdog). fired counts events ever fired — the
+	// kernel's own progress signal — and watchFn adds the caller's
+	// domain progress (e.g. packets delivered). When the combined count
+	// is unchanged across a watchW-cycle window while tickers are still
+	// active, the system is livelocked and hung latches.
+	watchW    int64
+	watchFn   func() int64
+	watchLast int64
+	watchAt   int64
+	fired     int64
+	hung      bool
 }
 
 // NewKernel returns a kernel whose random number generator is seeded with
@@ -244,6 +256,7 @@ func (k *Kernel) Step() {
 		e := k.events.pop()
 		if e.fn != nil {
 			k.pending--
+			k.fired++
 			e.fn()
 		} else {
 			k.Wake(e.wake)
@@ -260,7 +273,38 @@ func (k *Kernel) Step() {
 			k.active--
 		}
 	}
+	if k.watchW > 0 && k.now >= k.watchAt {
+		p := k.fired
+		if k.watchFn != nil {
+			p += k.watchFn()
+		}
+		if p == k.watchLast && k.active > 0 {
+			k.hung = true
+		}
+		k.watchLast = p
+		k.watchAt = k.now + k.watchW
+	}
 }
+
+// SetWatchdog arms the hang watchdog: if, over any window cycles, no event
+// fires and the caller-supplied progress counter does not advance while at
+// least one ticker remains active, the kernel declares the simulation hung
+// — Run and RunUntil stop stepping and Hung reports true. Active tickers
+// making no progress is the livelock signature; a fully parked system is
+// legitimately idle (it fast-forwards) and never trips. progress may be
+// nil; window <= 0 disarms. The watchdog is pure observation: it never
+// changes scheduling, so an armed run that does not hang is byte-identical
+// to an unarmed one.
+func (k *Kernel) SetWatchdog(window int64, progress func() int64) {
+	k.watchW = window
+	k.watchFn = progress
+	k.watchLast = -1
+	k.watchAt = k.now + window
+	k.hung = false
+}
+
+// Hung reports whether the watchdog has tripped.
+func (k *Kernel) Hung() bool { return k.hung }
 
 // skipIdle fast-forwards the clock when every ticker is parked: nothing can
 // change state until the next scheduled event (or timer), so jump to the
@@ -281,10 +325,10 @@ func (k *Kernel) skipIdle(limit int64) bool {
 	return true
 }
 
-// Run steps the kernel until the clock reaches cycle end, fast-forwarding
-// through stretches where every ticker is parked.
+// Run steps the kernel until the clock reaches cycle end (or the watchdog
+// trips), fast-forwarding through stretches where every ticker is parked.
 func (k *Kernel) Run(end int64) {
-	for k.now < end {
+	for k.now < end && !k.hung {
 		k.skipIdle(end)
 		k.Step()
 	}
@@ -293,12 +337,16 @@ func (k *Kernel) Run(end int64) {
 // RunUntil steps the kernel until done reports true or maxCycles cycles have
 // elapsed, and returns whether done was reached. Stretches where every
 // ticker is parked are fast-forwarded: done is re-evaluated only when
-// something could have changed it.
+// something could have changed it. A watchdog trip stops stepping early —
+// by the watchdog's own criterion no further progress was coming.
 func (k *Kernel) RunUntil(done func() bool, maxCycles int64) bool {
 	limit := k.now + maxCycles
 	for k.now < limit {
 		if done() {
 			return true
+		}
+		if k.hung {
+			return false
 		}
 		k.skipIdle(limit)
 		k.Step()

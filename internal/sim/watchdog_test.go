@@ -1,0 +1,158 @@
+package sim
+
+import "testing"
+
+// busyTicker is always active (no Parker implementation) and makes no
+// progress: the livelock signature the watchdog exists to catch.
+type busyTicker struct{ ticks int64 }
+
+func (b *busyTicker) Tick(now int64) { b.ticks++ }
+
+// idleParker parks immediately after every tick.
+type idleParker struct{ ticks []int64 }
+
+func (p *idleParker) Tick(now int64)  { p.ticks = append(p.ticks, now) }
+func (p *idleParker) Quiescent() bool { return true }
+
+func TestWatchdogTripsOnLivelock(t *testing.T) {
+	k := NewKernel(1)
+	k.Register(&busyTicker{})
+	k.SetWatchdog(10, nil)
+	k.Run(1000)
+	if !k.Hung() {
+		t.Fatal("watchdog did not trip on an active ticker making no progress")
+	}
+	if k.Now() >= 1000 {
+		t.Fatalf("run burned its full bound (now=%d) despite the trip", k.Now())
+	}
+	if k.Now() < 10 {
+		t.Fatalf("tripped at cycle %d, before a full window elapsed", k.Now())
+	}
+}
+
+func TestWatchdogSeesEventProgress(t *testing.T) {
+	k := NewKernel(1)
+	k.Register(&busyTicker{})
+	k.SetWatchdog(10, nil)
+	// A live event chain counts as progress: fired events advance the
+	// kernel's own counter every window.
+	var chain func()
+	chain = func() {
+		if k.Now() < 100 {
+			k.Schedule(5, chain)
+		}
+	}
+	k.Schedule(5, chain)
+	k.Run(100)
+	if k.Hung() {
+		t.Fatal("watchdog tripped while events were still firing")
+	}
+	// Chain over, ticker still active and idle: now it must trip.
+	k.Run(300)
+	if !k.Hung() {
+		t.Fatal("watchdog did not trip after the event chain drained")
+	}
+}
+
+func TestWatchdogProgressFn(t *testing.T) {
+	k := NewKernel(1)
+	var delivered int64
+	k.Register(&busyTicker{})
+	k.SetWatchdog(10, func() int64 { return delivered })
+	// Simulate domain progress for 50 cycles, then a livelock.
+	stop := int64(50)
+	k.Schedule(1, func() {})
+	for k.Now() < 400 && !k.Hung() {
+		k.Step()
+		if k.Now() < stop {
+			delivered++
+		}
+	}
+	if !k.Hung() {
+		t.Fatal("watchdog did not trip when the progress counter froze")
+	}
+	if k.Now() < stop {
+		t.Fatalf("tripped at cycle %d while progress was still advancing", k.Now())
+	}
+}
+
+func TestWatchdogIgnoresParkedIdleSystem(t *testing.T) {
+	k := NewKernel(1)
+	k.Register(&idleParker{})
+	k.SetWatchdog(5, nil)
+	k.Run(100)
+	if k.Hung() {
+		t.Fatal("watchdog tripped on a fully parked (legitimately idle) system")
+	}
+	if k.Now() != 100 {
+		t.Fatalf("run stopped at %d, want 100", k.Now())
+	}
+}
+
+func TestWatchdogDisarm(t *testing.T) {
+	k := NewKernel(1)
+	k.Register(&busyTicker{})
+	k.SetWatchdog(10, nil)
+	k.SetWatchdog(0, nil)
+	k.Run(100)
+	if k.Hung() {
+		t.Fatal("disarmed watchdog tripped")
+	}
+}
+
+func TestRunUntilReturnsFalseOnHang(t *testing.T) {
+	k := NewKernel(1)
+	k.Register(&busyTicker{})
+	k.SetWatchdog(10, nil)
+	if k.RunUntil(func() bool { return false }, 100_000) {
+		t.Fatal("RunUntil reported done")
+	}
+	if !k.Hung() {
+		t.Fatal("RunUntil returned without the watchdog tripping")
+	}
+	if k.Now() >= 100_000 {
+		t.Fatalf("RunUntil burned the full bound (now=%d) despite the trip", k.Now())
+	}
+}
+
+// TestParkedWakeTimerBlocksFastForward is the wake-timer vs park race
+// regression: with every ticker parked and a wake timer due at the very
+// next cycle, the idle fast-forward must stop at the timer — skipping past
+// it would silently swallow the ticker's scheduled work.
+func TestParkedWakeTimerBlocksFastForward(t *testing.T) {
+	k := NewKernel(1)
+	p := &idleParker{}
+	id := k.Register(p)
+	k.Step() // ticks at cycle 1, parks
+	if len(p.ticks) != 1 || p.ticks[0] != 1 {
+		t.Fatalf("setup: ticks = %v, want [1]", p.ticks)
+	}
+	wakeAt := k.WakeAt(1, id) // due at cycle 2, the immediately next cycle
+	if wakeAt != 2 {
+		t.Fatalf("WakeAt effective cycle %d, want 2", wakeAt)
+	}
+	k.Run(100)
+	if len(p.ticks) != 2 || p.ticks[1] != wakeAt {
+		t.Fatalf("ticks = %v, want a tick exactly at wake cycle %d", p.ticks, wakeAt)
+	}
+}
+
+// Same race through Schedule: a zero-work callback due next cycle that
+// wakes the parked ticker must not be fast-forwarded past.
+func TestParkedScheduleWakeBlocksFastForward(t *testing.T) {
+	k := NewKernel(1)
+	p := &idleParker{}
+	id := k.Register(p)
+	k.Step() // parks at cycle 1
+	fire := k.Schedule(1, func() { k.Wake(id) })
+	if fire != 2 {
+		t.Fatalf("Schedule effective cycle %d, want 2", fire)
+	}
+	k.Run(100)
+	if len(p.ticks) != 2 || p.ticks[1] != fire {
+		t.Fatalf("ticks = %v, want a tick exactly at event cycle %d", p.ticks, fire)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("run ended at %d, want 100", k.Now())
+	}
+}

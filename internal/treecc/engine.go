@@ -120,7 +120,8 @@ func (e *Engine) StartMiss(node int, addr uint64, write bool, now int64) {
 	// the teardown ack-hold it gates must cover only the bounded
 	// above-network completion window — holding for a request that is
 	// still traveling could make a teardown wait on itself.
-	msg := &protocol.Msg{Type: t, Addr: addr, Requester: node, IssuedAt: now}
+	msg := &protocol.Msg{Type: t, Addr: addr, Requester: node, IssuedAt: now,
+		Attempt: e.m.CurrentAttempt(node)}
 	e.m.Mesh.Inject(node, e.packet(node, msg), now)
 }
 
@@ -190,7 +191,8 @@ func (e *Engine) serveRead(node int, msg *protocol.Msg) {
 			e.m.Metrics.Event(now, metrics.EvSharerServe, int16(node), addr, saved)
 		}
 		reply := &protocol.Msg{Type: protocol.RdReply, Addr: addr, Requester: msg.Requester,
-			Version: dl.Version, IssuedAt: msg.IssuedAt, DeadlockCycles: msg.DeadlockCycles}
+			Version: dl.Version, IssuedAt: msg.IssuedAt, DeadlockCycles: msg.DeadlockCycles,
+			Attempt: msg.Attempt}
 		e.m.Mesh.Spawn(node, e.packet(node, reply), now)
 		return
 	}
@@ -244,7 +246,8 @@ func (e *Engine) grantWrite(node int, msg *protocol.Msg) {
 func (e *Engine) injectHomeReply(home int, req *protocol.Msg, t protocol.MsgType, version uint64) {
 	now := e.m.Kernel.Now()
 	reply := &protocol.Msg{Type: t, Addr: req.Addr, Requester: req.Requester, Version: version,
-		RequesterIsRoot: true, IssuedAt: req.IssuedAt, DeadlockCycles: req.DeadlockCycles}
+		RequesterIsRoot: true, IssuedAt: req.IssuedAt, DeadlockCycles: req.DeadlockCycles,
+		Attempt: req.Attempt}
 	e.m.Mesh.Spawn(home, e.packet(home, reply), now)
 }
 
@@ -254,6 +257,10 @@ func (e *Engine) injectHomeReply(home int, req *protocol.Msg, t protocol.MsgType
 func (e *Engine) finishRead(node int, msg *protocol.Msg) {
 	now := e.m.Kernel.Now()
 	e.debugf(msg.Addr, "finishRead at n%d v=%d", node, msg.Version)
+	if e.m.DropStaleReply(node, msg) {
+		e.dropStale(node, msg)
+		return
+	}
 	if line, ok := e.trees[node].Peek(msg.Addr); ok && !line.Touched && line.OutstandingReq {
 		e.m.InstallLine(node, msg.Addr, protocol.Shared, msg.Version, now)
 		line.LocalValid = true
@@ -264,6 +271,22 @@ func (e *Engine) finishRead(node int, msg *protocol.Msg) {
 	}
 	e.m.Check.ObserveRead(msg.Addr, msg.Version, node, now, false)
 	e.m.CompleteAccess(node, false, now, msg.DeadlockCycles)
+}
+
+// dropStale discards a reply from an abandoned reissue epoch without
+// completing any access or installing data, while still releasing the tree
+// state the reply anchored: a fresh-tree line waiting on this reply has
+// its outstanding-request bit cleared, and a held teardown acknowledgment
+// is let through so the collapse the reply was blocking can finish.
+func (e *Engine) dropStale(node int, msg *protocol.Msg) {
+	e.debugf(msg.Addr, "stale reply (attempt %d) dropped at n%d", msg.Attempt, node)
+	if line, ok := e.trees[node].Peek(msg.Addr); ok && line.OutstandingReq {
+		if line.Touched {
+			e.releaseHeldAck(node, msg.Addr)
+		} else {
+			line.OutstandingReq = false
+		}
+	}
 }
 
 // releaseHeldAck resumes a collapse that was held at node for the local
@@ -293,6 +316,10 @@ func (e *Engine) releaseHeldAck(node int, addr uint64) {
 func (e *Engine) finishWrite(node int, msg *protocol.Msg) {
 	now := e.m.Kernel.Now()
 	e.debugf(msg.Addr, "finishWrite at n%d", node)
+	if e.m.DropStaleReply(node, msg) {
+		e.dropStale(node, msg)
+		return
+	}
 	v := e.m.Check.CommitWrite(msg.Addr, node, now)
 	if line, ok := e.trees[node].Peek(msg.Addr); ok && !line.Touched && line.OutstandingReq {
 		e.m.InstallLine(node, msg.Addr, protocol.Modified, v, now)

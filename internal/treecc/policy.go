@@ -333,7 +333,7 @@ func (e *Engine) revertToRequest(n int, msg *protocol.Msg) network.Steer {
 	e.m.Counters.Inc("tree.reply_reverts", 1)
 	req := &protocol.Msg{Type: protocol.RdReq, Addr: msg.Addr,
 		Requester: msg.Requester, IssuedAt: msg.IssuedAt,
-		DeadlockCycles: msg.DeadlockCycles}
+		DeadlockCycles: msg.DeadlockCycles, Attempt: msg.Attempt}
 	return network.Steer{Consume: true, Spawn: []*network.Packet{e.packet(n, req)}}
 }
 
@@ -477,8 +477,10 @@ func (e *Engine) abortReply(n int, p *network.Packet, msg *protocol.Msg, now int
 	}
 	req := &protocol.Msg{Type: t, Addr: msg.Addr, Requester: msg.Requester,
 		IssuedAt: msg.IssuedAt, Backoff: true,
-		DeadlockCycles: msg.DeadlockCycles + e.m.Cfg.TimeoutCycles}
-	reqPkt := &network.Packet{ID: e.m.Mesh.NextID(), Flits: e.m.Cfg.CtrlFlits, Payload: req}
+		DeadlockCycles: msg.DeadlockCycles + e.m.Cfg.TimeoutCycles,
+		Attempt:        msg.Attempt}
+	reqPkt := &network.Packet{ID: e.m.Mesh.NextID(), Flits: e.m.Cfg.CtrlFlits,
+		Payload: req, Retryable: true}
 	spawns = append(spawns, reqPkt)
 	return network.Steer{Consume: true, Spawn: spawns}
 }

@@ -1,8 +1,9 @@
 #!/bin/sh
-# Repository check: build, vet, race-enabled tests, a fuzz smoke pass over
-# the trace-file parser, and a race-enabled metrics-instrumented experiment
-# run. CI runs exactly this script (.github/workflows/ci.yml) so local and
-# CI results agree.
+# Repository check: build, vet, race-enabled tests, fuzz smoke passes over
+# the trace-file and fault-spec parsers, a race-enabled fault-injection
+# smoke (drop-plan recovery per engine + watchdog dump), and a race-enabled
+# metrics-instrumented experiment run. CI runs exactly this script
+# (.github/workflows/ci.yml) so local and CI results agree.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -20,6 +21,19 @@ go test -race ./...
 # Fuzz smoke: a short randomized session over the trace-file parser on top
 # of the committed regression corpus (testdata/fuzz/FuzzRead).
 go test ./internal/trace -fuzz '^FuzzRead$' -fuzztime 10s
+
+# Fault-spec fuzz smoke: parse/canonicalize round-trip and plan determinism
+# over the committed corpus (internal/fault/testdata/fuzz/FuzzParseSpec).
+go test ./internal/fault -fuzz '^FuzzParseSpec$' -fuzztime 5s
+
+# Fault smoke under the race detector: one seeded drop plan per engine must
+# recover to a coherent end state, and a watchdog trip must produce the
+# flight-recorder dump (TestWatchdogTripDumpsFlightRecorder asserts the
+# dump file on disk).
+go test -race ./internal/fault \
+    -run '^(TestDropPlanCompletesCoherently|TestWatchdogTripDumpsFlightRecorder)$' -v
+go run -race ./cmd/innetcc -exp fig5 -accesses 80 -jobs 4 \
+    -faults drop=2000,timeout=200000,retries=6,backoff=64 -retries 1 >/dev/null
 
 # Observability smoke under the race detector: one metrics-instrumented
 # experiment across parallel workers, with CSV export and flight dumping.
