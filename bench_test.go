@@ -13,6 +13,7 @@
 package innetcc_bench
 
 import (
+	"fmt"
 	"testing"
 
 	"innetcc/internal/cacti"
@@ -75,6 +76,43 @@ func BenchmarkKernelIdleMesh(b *testing.B) { kernelMeshRun(b, false) }
 // simulation with parking disabled, every ticker ticked every cycle. Its
 // time divided by BenchmarkKernelIdleMesh's is the measured speedup.
 func BenchmarkKernelIdleMeshAlwaysTick(b *testing.B) { kernelMeshRun(b, true) }
+
+// BenchmarkParallelMesh measures the sharded tick engine on a single large
+// simulation: a 16x16 mesh (256 nodes) under the tree protocol, split
+// across 1, 2, 4 and 8 worker shards. Results are byte-identical at every
+// shard count, so the timing ratios are pure engine speedup. CI's
+// bench-smoke step records the series in BENCH_parallel.json together with
+// the host's CPU count: on a single-core host the parallel variants can
+// only show scheduling overhead, while multicore hosts see the speedup.
+func BenchmarkParallelMesh(b *testing.B) {
+	p, err := trace.ProfileByName("bar")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := protocol.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 16, 16
+	cfg.Seed = 42
+	tr := trace.Generate(p, cfg.Nodes(), 40, cfg.Seed)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				m, err := protocol.Build(protocol.Spec{
+					Config: cfg, Trace: tr, Think: p.Think,
+					Engine: protocol.KindTree, Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Run(200_000_000); err != nil {
+					b.Fatal(err)
+				}
+				cycles = m.Kernel.Now()
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
 
 // BenchmarkHopCountStudy regenerates the Section 1 oracle hop-count
 // characterization (paper: reads -19.7%, writes -17.3% on average).

@@ -15,7 +15,9 @@
 //	innetcc -exp fig5                 # one experiment
 //	innetcc -exp fig9 -accesses 300   # heavier per-node load
 //	innetcc -exp all -jobs 8          # 8 simulation workers
+//	innetcc -exp fig9 -shards 4       # split each simulation across 4 shards
 //	innetcc -exp all -cache .innetcc-cache
+//	innetcc -exp fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	innetcc -exp mcheck               # exhaustive model checking
 //	innetcc -exp fig5 -metrics       # + latency breakdown / NoC tables
 //	innetcc -exp fig5 -metrics -metrics-out m.csv   # export (.json for JSON)
@@ -35,6 +37,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"innetcc/internal/experiments"
@@ -81,17 +85,33 @@ func main() {
 	faults := flag.String("faults", "", "fault injection spec, e.g. \"drop=2000,timeout=20000,retries=4\" (see internal/fault; empty = off)")
 	watchdog := flag.Int64("watchdog", 0, "hang watchdog window in cycles: fail a run making no progress for this long (0 = off)")
 	retries := flag.Int("retries", 0, "re-run a transiently failed job (hang, retry budget) this many times with derived sub-seeds")
+	shards := flag.Int("shards", 0, "worker shards per simulation (0/1 = serial); results are identical at any setting")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	flag.Parse()
 
 	if *list {
 		printList(os.Stdout)
 		return
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "innetcc:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "innetcc:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	opt := experiments.Options{
 		AccessesPerNode:   *accesses,
 		AccessesPerNode64: *accesses64,
 		Seed:              *seed,
 		Jobs:              *jobs,
+		Shards:            *shards,
 		CacheDir:          *cacheDir,
 		Metrics:           *metricsOn || *metricsOut != "" || *flightDump,
 		FlightDump:        *flightDump,
@@ -106,6 +126,19 @@ func main() {
 	if err := run(os.Stdout, *exp, opt, *metricsOut, *flightDump); err != nil {
 		fmt.Fprintln(os.Stderr, "innetcc:", err)
 		os.Exit(1)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "innetcc:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "innetcc:", err)
+			os.Exit(1)
+		}
 	}
 }
 

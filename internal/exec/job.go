@@ -33,7 +33,7 @@ const DefaultMaxCycles = 200_000_000
 // specVersion invalidates cached results when the result schema or the
 // simulation semantics change incompatibly. Bump it on any change that
 // alters what a given spec computes.
-const specVersion = 4 // v4: fault injection (Job.Faults) and transient retries (Job.Retries)
+const specVersion = 5 // v5: sharded tick engine; route-phase backoff delays now derive from a pure hash instead of an RNG draw
 
 // Job describes one hermetic simulation: which engine to run, on which
 // configuration, over which synthetic trace. Everything the simulation
@@ -81,6 +81,13 @@ type Job struct {
 	// before the failure is reported. Deterministic failures (panics,
 	// validation errors, coherence violations) are never retried.
 	Retries int
+
+	// Shards is the number of worker shards one simulation is split
+	// across (<= 1 means serial). The sharded engine is byte-identical to
+	// serial execution at every shard count, so Shards is a pure
+	// throughput knob: it is deliberately excluded from the cache hash,
+	// and a result computed at any shard count serves every other.
+	Shards int
 }
 
 // SeedKey identifies the job's random stream: jobs over the same trace
@@ -125,9 +132,10 @@ func splitmix(z uint64) uint64 {
 }
 
 // hashSpec is the canonical cache identity of a job: every field the
-// simulation result depends on, and nothing else (Key is excluded; the
-// config's Seed field is zeroed because the run seed derives from
-// SuiteSeed).
+// simulation result depends on, and nothing else (Key and Shards are
+// excluded — the label never enters the simulation and the sharded engine
+// computes shard-count-independent results; the config's Seed field is
+// zeroed because the run seed derives from SuiteSeed).
 type hashSpec struct {
 	Version     int
 	Engine      protocol.EngineKind

@@ -34,11 +34,24 @@ type Pool struct {
 // every job is a pure function of its spec and results are collected by
 // index, the returned slice — and anything printed from it in order — is
 // identical at every parallelism level.
+//
+// When Workers <= 0 the pool defaults to one worker per core, divided by
+// the largest per-job shard count so batch parallelism and intra-simulation
+// sharding together use roughly GOMAXPROCS cores instead of oversubscribing.
 func (p *Pool) Run(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		maxShards := 1
+		for _, j := range jobs {
+			if j.Shards > maxShards {
+				maxShards = j.Shards
+			}
+		}
+		if workers /= maxShards; workers < 1 {
+			workers = 1
+		}
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -137,6 +150,7 @@ func simulate(job Job, attempt int) (res Result) {
 		Engine:  job.Engine,
 		Metrics: col,
 		Faults:  plan,
+		Shards:  job.Shards,
 	})
 	if err != nil {
 		return Result{Err: err.Error(), Metrics: metricsOut(col, true)}
@@ -195,13 +209,13 @@ func simulate(job Job, attempt int) (res Result) {
 }
 
 // dist folds an accumulator (and, when available, its sample set for
-// percentiles) into the serializable Dist form.
+// percentiles) into the serializable Dist form. Summarize extracts all
+// three percentiles off one sort of the sample vector.
 func dist(a *stats.Accumulator, s *stats.Sampler) Dist {
 	d := Dist{N: a.N, Sum: a.Sum, Min: a.MinV, Max: a.MaxV}
 	if s != nil && s.N() > 0 {
-		d.P50 = s.Percentile(50)
-		d.P95 = s.Percentile(95)
-		d.P99 = s.Percentile(99)
+		sum := s.Summarize()
+		d.P50, d.P95, d.P99 = sum.P50, sum.P95, sum.P99
 	}
 	return d
 }

@@ -31,9 +31,17 @@ type Options struct {
 	AccessesPerNode64 int
 	Seed              uint64
 
-	// Jobs is the simulation worker parallelism; <= 0 uses all cores.
+	// Jobs is the simulation worker parallelism; <= 0 uses all cores
+	// (divided by Shards so the two knobs together fill the machine).
 	// Results are identical at every setting.
 	Jobs int
+
+	// Shards splits each individual simulation across this many worker
+	// shards (<= 1 runs serially). The sharded engine is byte-identical
+	// to serial execution, so this — like Jobs — never changes results,
+	// only wall-clock time. Prefer Jobs for batches with many jobs and
+	// Shards for a few large simulations.
+	Shards int
 
 	// CacheDir, when non-empty, enables the on-disk result cache there:
 	// re-running an experiment whose job specs are unchanged replays
@@ -113,6 +121,9 @@ func (o Options) Validate() error {
 	if o.Retries < 0 {
 		return fmt.Errorf("experiments: Retries must be non-negative, got %d", o.Retries)
 	}
+	if o.Shards < 0 {
+		return fmt.Errorf("experiments: Shards must be non-negative, got %d", o.Shards)
+	}
 	return nil
 }
 
@@ -142,6 +153,11 @@ func runJobs(opt Options, jobs []exec.Job) ([]exec.Result, error) {
 			// Config is part of the cache identity, so arming the
 			// watchdog through it invalidates stale cached rows for free.
 			jobs[i].Config.WatchdogCycles = opt.Watchdog
+		}
+	}
+	if opt.Shards > 1 {
+		for i := range jobs {
+			jobs[i].Shards = opt.Shards
 		}
 	}
 	p := &exec.Pool{Workers: opt.Jobs}

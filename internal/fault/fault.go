@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // ppmScale is the rate denominator: rates are parts-per-million, so a rate
@@ -335,6 +336,9 @@ type Injector struct {
 	// Drops counts plan-injected drops, ChecksumDrops packets discarded
 	// by corruption detection, Corruptions in-flight corruptions
 	// injected, and StallCycles link-grant cycles lost to stalls.
+	// Routers on different shards bump these concurrently mid-tick, so
+	// all updates go through sync/atomic; readers load them between
+	// cycles, where plain reads are already ordered by the barrier.
 	Drops         int64
 	ChecksumDrops int64
 	Corruptions   int64
@@ -347,7 +351,7 @@ func (i *Injector) DropAt(cycle int64, router, port int) bool {
 	if !i.Plan.DropAt(cycle, router, port) {
 		return false
 	}
-	i.Drops++
+	atomic.AddInt64(&i.Drops, 1)
 	return true
 }
 
@@ -355,7 +359,7 @@ func (i *Injector) CorruptAt(cycle int64, router, port int) bool {
 	if !i.Plan.CorruptAt(cycle, router, port) {
 		return false
 	}
-	i.Corruptions++
+	atomic.AddInt64(&i.Corruptions, 1)
 	return true
 }
 
@@ -363,6 +367,6 @@ func (i *Injector) StallAt(cycle int64, router, port int) bool {
 	if !i.Plan.StallAt(cycle, router, port) {
 		return false
 	}
-	i.StallCycles++
+	atomic.AddInt64(&i.StallCycles, 1)
 	return true
 }

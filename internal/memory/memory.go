@@ -11,12 +11,19 @@
 // comparison.
 package memory
 
-// Memory is the off-chip backing store.
+import "sync"
+
+// Memory is the off-chip backing store. The mutex guards the version map
+// and access counters: home-node memory reads and teardown writebacks fire
+// from the sharded route phase. Per-line version monotonicity makes the
+// writeback result independent of same-cycle lock order, and same-cycle
+// accesses to one line are serialized by the protocol itself.
 type Memory struct {
+	mu       sync.Mutex
 	latency  int64
 	versions map[uint64]uint64
 
-	// Reads and Writebacks count accesses for reporting.
+	// Reads and Writebacks count accesses for reporting (guarded by mu).
 	Reads      int64
 	Writebacks int64
 }
@@ -33,12 +40,18 @@ func (m *Memory) Latency() int64 { return m.latency }
 // Read returns the version currently stored for line addr. Lines never
 // written back read as version zero, the initial state of all of memory.
 func (m *Memory) Read(addr uint64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.Reads++
 	return m.versions[addr]
 }
 
 // Peek is Read without access accounting, for verifiers.
-func (m *Memory) Peek(addr uint64) uint64 { return m.versions[addr] }
+func (m *Memory) Peek(addr uint64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.versions[addr]
+}
 
 // Writeback records that version v of line addr has been written back.
 // Writebacks carry monotonically increasing versions per line; an
@@ -46,6 +59,8 @@ func (m *Memory) Peek(addr uint64) uint64 { return m.versions[addr] }
 // line backward, mirroring how real memory controllers squash a stale
 // writeback that races a later owner's.
 func (m *Memory) Writeback(addr uint64, v uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.Writebacks++
 	if v > m.versions[addr] {
 		m.versions[addr] = v
@@ -53,11 +68,17 @@ func (m *Memory) Writeback(addr uint64, v uint64) {
 }
 
 // Lines returns how many distinct lines have ever been written back.
-func (m *Memory) Lines() int { return len(m.versions) }
+func (m *Memory) Lines() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.versions)
+}
 
 // Snapshot returns a copy of the per-line version map, for end-state
 // verification.
 func (m *Memory) Snapshot() map[uint64]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make(map[uint64]uint64, len(m.versions))
 	for a, v := range m.versions {
 		out[a] = v

@@ -26,8 +26,8 @@ func TestRouterTickZeroAllocsSteadyState(t *testing.T) {
 	k := sim.NewKernel(1)
 	m := NewMesh(k, 2, 1, 2, 1, pingPongPolicy{})
 	m.EjectFn = func(int, *Packet, int64) {}
-	p := m.AllocPacket()
-	p.ID = m.NextID()
+	p := m.AllocPacketFor(0)
+	p.ID = m.NextIDFor(0)
 	p.Flits = 1
 	m.Inject(0, p, k.Now())
 	k.Run(100) // warm the rings and reach steady state
@@ -60,8 +60,8 @@ func TestPacketFreeListRecycles(t *testing.T) {
 	delivered := 0
 	m.EjectFn = func(int, *Packet, int64) { delivered++ }
 
-	pooled := m.AllocPacket()
-	pooled.ID = m.NextID()
+	pooled := m.AllocPacketFor(0)
+	pooled.ID = m.NextIDFor(0)
 	pooled.Dst = 1
 	pooled.Flits = 1
 	pooled.Payload = "payload"
@@ -70,19 +70,20 @@ func TestPacketFreeListRecycles(t *testing.T) {
 	if delivered != 1 {
 		t.Fatalf("pooled packet not delivered (delivered=%d)", delivered)
 	}
-	if got := m.AllocPacket(); got != pooled {
+	// Packets recycle at the router where they die — the destination.
+	if got := m.AllocPacketFor(1); got != pooled {
 		t.Error("delivered pool packet was not recycled to the free-list")
 	} else if got.Payload != nil || got.Dst != 0 || !got.pooled {
 		t.Errorf("recycled packet not reset: %+v", got)
 	}
 
-	literal := &Packet{ID: m.NextID(), Dst: 1, Flits: 1}
+	literal := &Packet{ID: m.NextIDFor(0), Dst: 1, Flits: 1}
 	m.Inject(0, literal, k.Now())
 	k.Run(k.Now() + 50)
 	if delivered != 2 {
 		t.Fatalf("literal packet not delivered (delivered=%d)", delivered)
 	}
-	if got := m.AllocPacket(); got == literal {
+	if got := m.AllocPacketFor(1); got == literal {
 		t.Error("literal-built packet was recycled; external references would be corrupted")
 	}
 }
@@ -94,8 +95,8 @@ func TestRoutersParkWhenDrained(t *testing.T) {
 	k := sim.NewKernel(1)
 	m := NewMesh(k, 4, 4, 2, 1, XYPolicy{})
 	m.EjectFn = func(int, *Packet, int64) {}
-	p := m.AllocPacket()
-	p.ID = m.NextID()
+	p := m.AllocPacketFor(0)
+	p.ID = m.NextIDFor(0)
 	p.Dst = 15
 	p.Flits = 3
 	m.Inject(0, p, k.Now())

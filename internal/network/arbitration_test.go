@@ -19,7 +19,7 @@ func (s *spawnOnSight) Route(r *Router, p *Packet, now int64) Steer {
 	if r.NodeID == s.at && !s.spawned && p.Payload == "lead" {
 		s.spawned = true
 		st.Spawn = []*Packet{{
-			ID: r.mesh.NextID(), Src: s.at, Dst: p.Dst, Flits: 1,
+			ID: r.mesh.NextIDFor(r.NodeID), Src: s.at, Dst: p.Dst, Flits: 1,
 			Payload: "chaser", Expedited: s.expedited,
 		}}
 	}
@@ -39,7 +39,7 @@ func TestChaserNeverOvertakesLead(t *testing.T) {
 		m.EjectFn = func(node int, p *Packet, now int64) {
 			order = append(order, p.Payload.(string))
 		}
-		lead := &Packet{ID: m.NextID(), Src: 0, Dst: 3, Flits: 1, Payload: "lead"}
+		lead := &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 3, Flits: 1, Payload: "lead"}
 		m.Inject(0, lead, k.Now())
 		if !k.RunUntil(func() bool { return len(order) == 2 }, 1000) {
 			t.Fatalf("expedited=%v: packets not delivered (%v)", expedited, order)
@@ -62,7 +62,7 @@ func TestExpeditedSpawnSkipsPipeline(t *testing.T) {
 				chaserAt = now
 			}
 		}
-		m.Inject(0, &Packet{ID: m.NextID(), Src: 0, Dst: 1, Flits: 1, Payload: "lead"}, k.Now())
+		m.Inject(0, &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 1, Flits: 1, Payload: "lead"}, k.Now())
 		if !k.RunUntil(func() bool { return chaserAt != 0 }, 1000) {
 			t.Fatal("chaser never delivered")
 		}
@@ -84,8 +84,8 @@ func TestMultipleVCsIsolateClasses(t *testing.T) {
 	var got []VC
 	m.EjectFn = func(node int, p *Packet, now int64) { got = append(got, p.Class) }
 	// Class 0 stalls forever at node 1; class 1 passes through.
-	m.Inject(0, &Packet{ID: m.NextID(), Src: 0, Dst: 2, Flits: 1, Class: 0}, k.Now())
-	m.Inject(0, &Packet{ID: m.NextID(), Src: 0, Dst: 2, Flits: 1, Class: 1}, k.Now())
+	m.Inject(0, &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 2, Flits: 1, Class: 0}, k.Now())
+	m.Inject(0, &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 2, Flits: 1, Class: 1}, k.Now())
 	if !k.RunUntil(func() bool { return len(got) == 1 }, 1000) {
 		t.Fatal("class-1 packet blocked behind stalled class-0 packet")
 	}
@@ -109,7 +109,7 @@ func TestInFlightAccounting(t *testing.T) {
 	delivered := 0
 	m.EjectFn = func(int, *Packet, int64) { delivered++ }
 	for i := 0; i < 6; i++ {
-		m.Inject(i%4, &Packet{ID: m.NextID(), Src: i % 4, Dst: (i + 1) % 4, Flits: 2}, k.Now())
+		m.Inject(i%4, &Packet{ID: m.NextIDFor(0), Src: i % 4, Dst: (i + 1) % 4, Flits: 2}, k.Now())
 	}
 	if m.InFlight != 6 {
 		t.Fatalf("InFlight=%d after 6 injections", m.InFlight)

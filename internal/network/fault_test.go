@@ -29,8 +29,8 @@ func TestInjectedDropRemovesPacket(t *testing.T) {
 	spec.DropPPM = 1_000_000
 	spec.Scope = fault.ScopeAll
 	k, m, delivered, reasons := faultSetup(t, spec, 7)
-	p := m.AllocPacket()
-	p.ID, p.Src, p.Dst, p.Flits = m.NextID(), 0, 3, 1
+	p := m.AllocPacketFor(0)
+	p.ID, p.Src, p.Dst, p.Flits = m.NextIDFor(0), 0, 3, 1
 	m.Inject(0, p, k.Now())
 	k.Run(200)
 	if len(*delivered) != 0 {
@@ -52,8 +52,8 @@ func TestScopeRetryableSparesNonRetryablePackets(t *testing.T) {
 	spec.DropPPM = 1_000_000 // drop every opportunity...
 	spec.Scope = fault.ScopeRetryable
 	k, m, delivered, _ := faultSetup(t, spec, 7)
-	p := m.AllocPacket()
-	p.ID, p.Src, p.Dst, p.Flits = m.NextID(), 0, 3, 1
+	p := m.AllocPacketFor(0)
+	p.ID, p.Src, p.Dst, p.Flits = m.NextIDFor(0), 0, 3, 1
 	// ...but the packet is not retryable, so the request scope spares it.
 	m.Inject(0, p, k.Now())
 	k.Run(200)
@@ -70,8 +70,8 @@ func TestScopeRetryableDropsMarkedPackets(t *testing.T) {
 	spec.DropPPM = 1_000_000
 	spec.Scope = fault.ScopeRetryable
 	k, m, delivered, reasons := faultSetup(t, spec, 7)
-	p := m.AllocPacket()
-	p.ID, p.Src, p.Dst, p.Flits, p.Retryable = m.NextID(), 0, 3, 1, true
+	p := m.AllocPacketFor(0)
+	p.ID, p.Src, p.Dst, p.Flits, p.Retryable = m.NextIDFor(0), 0, 3, 1, true
 	m.Inject(0, p, k.Now())
 	k.Run(200)
 	if len(*delivered) != 0 || len(*reasons) != 1 {
@@ -84,8 +84,8 @@ func TestCorruptionCaughtByChecksum(t *testing.T) {
 	spec := fault.DefaultSpec()
 	spec.CorruptPPM = 1_000_000
 	k, m, delivered, reasons := faultSetup(t, spec, 7)
-	p := m.AllocPacket()
-	p.ID, p.Src, p.Dst, p.Flits = m.NextID(), 0, 3, 1
+	p := m.AllocPacketFor(0)
+	p.ID, p.Src, p.Dst, p.Flits = m.NextIDFor(0), 0, 3, 1
 	m.Inject(0, p, k.Now())
 	k.Run(500)
 	if len(*delivered) != 0 {
@@ -111,8 +111,8 @@ func TestLocalEjectionNeverFaulted(t *testing.T) {
 	spec.DropPPM, spec.CorruptPPM, spec.StallPPM = 1_000_000, 1_000_000, 1_000_000
 	spec.Scope = fault.ScopeAll
 	k, m, delivered, _ := faultSetup(t, spec, 7)
-	p := m.AllocPacket()
-	p.ID, p.Src, p.Dst, p.Flits = m.NextID(), 6, 6, 1
+	p := m.AllocPacketFor(0)
+	p.ID, p.Src, p.Dst, p.Flits = m.NextIDFor(0), 6, 6, 1
 	m.Inject(6, p, k.Now())
 	k.Run(200)
 	if len(*delivered) != 1 {
@@ -129,8 +129,8 @@ func TestStallDelaysDelivery(t *testing.T) {
 		if spec.Injecting() {
 			m.Faults = &fault.Injector{Plan: spec.Plan(7)}
 		}
-		p := m.AllocPacket()
-		p.ID, p.Src, p.Dst, p.Flits = m.NextID(), 0, 3, 1
+		p := m.AllocPacketFor(0)
+		p.ID, p.Src, p.Dst, p.Flits = m.NextIDFor(0), 0, 3, 1
 		m.Inject(0, p, k.Now())
 		k.Run(2000)
 		return at
@@ -166,8 +166,8 @@ func TestFaultScheduleDeterministicAcrossRuns(t *testing.T) {
 				if s == d {
 					continue
 				}
-				p := m.AllocPacket()
-				p.ID, p.Src, p.Dst, p.Flits = m.NextID(), s, d, 1
+				p := m.AllocPacketFor(0)
+				p.ID, p.Src, p.Dst, p.Flits = m.NextIDFor(0), s, d, 1
 				m.Inject(s, p, k.Now())
 			}
 		}

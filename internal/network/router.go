@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"innetcc/internal/fault"
 	"innetcc/internal/metrics"
@@ -27,10 +28,21 @@ type Router struct {
 	NodeID int
 	mesh   *Mesh
 	tid    sim.TickerID
+	shard  int // owning shard; routers only touch their own shard's state mid-tick
 
 	in       [numInPorts][]fifoQueue // indexed [port][vc]
 	busyTill [numOutPorts]int64
 	queued   int // packets across all FIFOs, for park/wake
+
+	// routeSeq stamps routing decisions for age-based arbitration and idSeq
+	// allocates packet ids; both are per-router (not mesh-global) so sharded
+	// ticking needs no shared counters. Arbitration only ever compares
+	// routeSeq stamps issued by the same router, so per-router stamping
+	// grants identically to a global counter. freePkts is this router's
+	// packet free-list; packets are recycled at the router where they die.
+	routeSeq uint64
+	idSeq    uint64
+	freePkts []*Packet
 
 	// ExtraHopDelay is added to every packet's per-hop pipeline time at
 	// this router. The Figure 10 experiment uses it to model an
@@ -83,14 +95,14 @@ type Mesh struct {
 	Routers  []*Router
 	Policy   Policy
 
-	kernel   *sim.Kernel
-	nextID   uint64
-	routeSeq uint64
+	kernel *sim.Kernel
 
-	// freePkts is the packet free-list: packets the mesh handed out with
-	// AllocPacket come back here when they leave the network, so the
-	// protocol hot path allocates no packets in steady state.
-	freePkts []*Packet
+	// shards is the spatial decomposition: router i belongs to shard
+	// i*shards/Nodes(), a contiguous band of router ids. sh holds each
+	// shard's cycle-local staging state, applied at the kernel barrier in
+	// shard order (= router-id order, the serial order).
+	shards int
+	sh     []meshShard
 
 	// EjectFn is invoked (one cycle after the grant) when a packet
 	// leaves through a router's local ejection port. It must be set
@@ -121,10 +133,11 @@ type Mesh struct {
 	// state no retry can release.
 	Faults *fault.Injector
 
-	// DropFn, when non-nil, is invoked synchronously for every packet
-	// the fault layer removes (injected drops and checksum discards),
-	// before the packet is recycled. The protocol layer uses it as a
-	// NACK source: a dropped request chain triggers an immediate
+	// DropFn, when non-nil, is invoked for every packet the fault layer
+	// removes (injected drops and checksum discards), before the packet is
+	// recycled. Drops detected during a router tick are reported at that
+	// cycle's barrier, in router-id order. The protocol layer uses DropFn
+	// as a NACK source: a dropped request chain triggers an immediate
 	// backoff-and-reissue instead of waiting out the reply timeout.
 	DropFn func(p *Packet, reason fault.DropReason, now int64)
 
@@ -143,15 +156,107 @@ func NewMesh(k *sim.Kernel, w, h int, pipeline int64, vcCount int, policy Policy
 		panic("network: invalid mesh shape")
 	}
 	m := &Mesh{W: w, H: h, Pipeline: pipeline, VCCount: vcCount, Policy: policy, kernel: k}
+	m.shards = k.Shards()
+	if m.shards > w*h {
+		m.shards = w * h
+	}
+	m.sh = make([]meshShard, m.shards)
 	for i := 0; i < w*h; i++ {
-		r := &Router{NodeID: i, mesh: m}
+		r := &Router{NodeID: i, mesh: m, shard: i * m.shards / (w * h)}
 		for p := 0; p < numInPorts; p++ {
 			r.in[p] = make([]fifoQueue, vcCount)
 		}
 		m.Routers = append(m.Routers, r)
 		r.tid = k.Register(r)
+		k.AssignShard(r.tid, r.shard)
 	}
+	k.OnBarrier(m.flush)
 	return m
+}
+
+// ShardOf returns the shard owning node's router (and with it all
+// controller work pinned to that node).
+func (m *Mesh) ShardOf(node int) int { return node * m.shards / len(m.Routers) }
+
+// Shards returns the number of spatial shards the mesh is split into
+// (1 when the simulation runs serially).
+func (m *Mesh) Shards() int { return m.shards }
+
+// meshShard is one shard's cycle-local staging state. Routers append to
+// their own shard's records during the tick segment; the barrier flush
+// applies them in shard order, which — shards being contiguous router-id
+// bands processed in ascending order — is router-id order, the exact order
+// serial execution produces.
+type meshShard struct {
+	xfers    []xferRec
+	drops    []dropRec
+	delivers []deliverRec
+
+	// Cycle deltas for the mesh-global accounting fields, folded into
+	// InFlight / DeliveredPackets / TotalHops at the barrier.
+	inFlight  int64
+	delivered int64
+	hops      int64
+
+	_ [64]byte // keep adjacent shards off one cache line
+}
+
+// xferRec is a flit hand-off crossing a router boundary: the link mailbox.
+// Applying it at the barrier instead of mid-tick is safe because the entry
+// only becomes routable at readyAt, at least two cycles out.
+type xferRec struct {
+	to   *Router
+	port Dir
+	vc   int
+	e    fifoEntry
+}
+
+// dropRec defers a fault-layer removal's DropFn callback (and the recycle
+// that must follow it) to the barrier.
+type dropRec struct {
+	r      *Router
+	p      *Packet
+	reason fault.DropReason
+}
+
+// deliverRec defers an in-network consumption's DeliverFn callback (and
+// recycle) to the barrier. Only staged when DeliverFn is armed.
+type deliverRec struct {
+	r *Router
+	p *Packet
+}
+
+// flush is the mesh's kernel barrier hook: apply every shard's staged
+// cross-router effects in shard order.
+func (m *Mesh) flush() {
+	now := m.kernel.Now()
+	for s := range m.sh {
+		sh := &m.sh[s]
+		for i := range sh.xfers {
+			x := &sh.xfers[i]
+			x.to.enqueue(x.port, x.vc, x.e)
+			sh.xfers[i] = xferRec{}
+		}
+		sh.xfers = sh.xfers[:0]
+		for i := range sh.drops {
+			d := sh.drops[i]
+			m.DropFn(d.p, d.reason, now)
+			m.recycleAt(d.r, d.p)
+			sh.drops[i] = dropRec{}
+		}
+		sh.drops = sh.drops[:0]
+		for i := range sh.delivers {
+			d := sh.delivers[i]
+			m.DeliverFn(d.p, true, now)
+			m.recycleAt(d.r, d.p)
+			sh.delivers[i] = deliverRec{}
+		}
+		sh.delivers = sh.delivers[:0]
+		m.InFlight += int(sh.inFlight)
+		m.DeliveredPackets += sh.delivered
+		m.TotalHops += sh.hops
+		sh.inFlight, sh.delivered, sh.hops = 0, 0, 0
+	}
 }
 
 // Nodes returns the number of routers in the mesh.
@@ -162,33 +267,40 @@ func (m *Mesh) Nodes() int { return m.W * m.H }
 func (m *Mesh) InPorts() int  { return numInPorts }
 func (m *Mesh) OutPorts() int { return numOutPorts }
 
-// NextID allocates a fresh packet id.
-func (m *Mesh) NextID() uint64 {
-	m.nextID++
-	return m.nextID
+// NextIDFor allocates a fresh packet id from node's router-local sequence.
+// The node id is folded into the high bits so per-router sequences never
+// collide; nothing in routing or arbitration compares ids, so the numbering
+// scheme is unobservable beyond uniqueness.
+func (m *Mesh) NextIDFor(node int) uint64 {
+	r := m.Routers[node]
+	r.idSeq++
+	return uint64(node)<<40 | r.idSeq
 }
 
-// AllocPacket returns a zeroed packet from the mesh free-list (or a fresh
-// one). The mesh recycles it automatically when it leaves the network —
-// through a local ejection port, after EjectFn returns, or when the policy
-// consumes it in-network — so callers must not retain pool packets past
-// those points. Protocol engines build all their traffic through this.
-func (m *Mesh) AllocPacket() *Packet {
-	if n := len(m.freePkts); n > 0 {
-		p := m.freePkts[n-1]
-		m.freePkts = m.freePkts[:n-1]
+// AllocPacketFor returns a zeroed packet from node's router-local free-list
+// (or a fresh one). The mesh recycles it automatically when it leaves the
+// network — through a local ejection port, after EjectFn returns, or when
+// the policy consumes it in-network — so callers must not retain pool
+// packets past those points. Protocol engines build all their traffic
+// through this; during a sharded tick they may only allocate at the node
+// being ticked, which is the only caller the engines have.
+func (m *Mesh) AllocPacketFor(node int) *Packet {
+	r := m.Routers[node]
+	if n := len(r.freePkts); n > 0 {
+		p := r.freePkts[n-1]
+		r.freePkts = r.freePkts[:n-1]
 		*p = Packet{pooled: true}
 		return p
 	}
 	return &Packet{pooled: true}
 }
 
-// recycle returns a dead pool packet to the free-list. Literal-built
-// packets pass through untouched.
-func (m *Mesh) recycle(p *Packet) {
+// recycleAt returns a dead pool packet to the free-list of the router it
+// died at. Literal-built packets pass through untouched.
+func (m *Mesh) recycleAt(r *Router, p *Packet) {
 	if p.pooled {
 		p.Payload = nil
-		m.freePkts = append(m.freePkts, p)
+		r.freePkts = append(r.freePkts, p)
 	}
 }
 
@@ -237,7 +349,15 @@ func (m *Mesh) spawn(node int, p *Packet, now int64) {
 	if m.Faults != nil {
 		p.Checksum = ChecksumOf(p)
 	}
-	m.InFlight++
+	// During a sharded tick, spawn only ever targets the router being
+	// ticked (policies spawn at their own node), so the direct enqueue is
+	// shard-local; the InFlight delta is staged so the mesh-global counter
+	// is only touched by the coordinator.
+	if m.kernel.InTick() {
+		m.sh[r.shard].inFlight++
+	} else {
+		m.InFlight++
+	}
 	delay := m.Pipeline + r.ExtraHopDelay
 	if p.Expedited {
 		delay = 0
@@ -250,9 +370,12 @@ func (m *Mesh) spawn(node int, p *Packet, now int64) {
 func (m *Mesh) Spawn(node int, p *Packet, now int64) { m.spawn(node, p, now) }
 
 // Tick advances one router by one cycle: consult the policy for newly ready
-// packets, then arbitrate each output port.
+// packets, then arbitrate each output port. Tick only mutates the router's
+// own state and its shard's staging records — never another router or a
+// mesh-global field — which is what lets shards tick concurrently.
 func (r *Router) Tick(now int64) {
 	m := r.mesh
+	sh := &m.sh[r.shard]
 	nm := m.Metrics
 	if nm != nil {
 		// Integrate input-FIFO occupancy (packet-cycles) per port/VC.
@@ -273,14 +396,15 @@ func (r *Router) Tick(now int64) {
 			if inj := m.Faults; inj != nil && p.Checksum != ChecksumOf(p) {
 				// Corruption detected: discard before the policy (and
 				// its tree-cache side effects) ever sees the packet.
-				inj.ChecksumDrops++
+				atomic.AddInt64(&inj.ChecksumDrops, 1)
 				r.in[port][vc].pop()
 				r.queued--
-				m.InFlight--
+				sh.inFlight--
 				if m.DropFn != nil {
-					m.DropFn(p, fault.DropChecksum, now)
+					sh.drops = append(sh.drops, dropRec{r: r, p: p, reason: fault.DropChecksum})
+				} else {
+					m.recycleAt(r, p)
 				}
-				m.recycle(p)
 				continue
 			}
 			st := m.Policy.Route(r, p, now)
@@ -291,13 +415,14 @@ func (r *Router) Tick(now int64) {
 			case st.Consume:
 				r.in[port][vc].pop()
 				r.queued--
-				m.InFlight--
-				m.DeliveredPackets++
-				m.TotalHops += int64(p.Hops)
+				sh.inFlight--
+				sh.delivered++
+				sh.hops += int64(p.Hops)
 				if m.DeliverFn != nil {
-					m.DeliverFn(p, true, now)
+					sh.delivers = append(sh.delivers, deliverRec{r: r, p: p})
+				} else {
+					m.recycleAt(r, p)
 				}
-				m.recycle(p)
 			case st.Stall:
 				if p.stallStart == 0 {
 					p.stallStart = now
@@ -312,8 +437,8 @@ func (r *Router) Tick(now int64) {
 				p.routed = true
 				p.outPort = st.Out
 				p.stallStart = 0
-				m.routeSeq++
-				p.routeSeq = m.routeSeq
+				r.routeSeq++
+				p.routeSeq = r.routeSeq
 			}
 		}
 	}
@@ -374,11 +499,12 @@ func (r *Router) Tick(now int64) {
 			// link occupancy) and the protocol is notified so it can
 			// reissue. The grant slot is consumed — a drop does not
 			// free the cycle for the next-oldest packet.
-			m.InFlight--
+			sh.inFlight--
 			if m.DropFn != nil {
-				m.DropFn(p, fault.DropInjected, now)
+				sh.drops = append(sh.drops, dropRec{r: r, p: p, reason: fault.DropInjected})
+			} else {
+				m.recycleAt(r, p)
 			}
-			m.recycle(p)
 			continue
 		}
 		r.busyTill[out] = now + int64(p.Flits)
@@ -388,7 +514,11 @@ func (r *Router) Tick(now int64) {
 			nm.LinkBusy[oi] += int64(p.Flits)
 		}
 		if Dir(out) == Local {
-			m.kernel.Schedule(1, func() {
+			// Ejection is protocol work (EjectFn reaches into controller
+			// state); it is deferred through the owning shard's queue and
+			// lands on the event heap one cycle out, exactly as the old
+			// direct Schedule(1, ...) did.
+			m.kernel.Defer(r.shard, 1, func() {
 				m.InFlight--
 				m.DeliveredPackets++
 				m.TotalHops += int64(p.Hops)
@@ -396,7 +526,7 @@ func (r *Router) Tick(now int64) {
 					m.DeliverFn(p, false, m.kernelNow())
 				}
 				m.EjectFn(r.NodeID, p, m.kernelNow())
-				m.recycle(p)
+				m.recycleAt(r, p)
 			})
 			continue
 		}
@@ -412,7 +542,17 @@ func (r *Router) Tick(now int64) {
 		}
 		p.ArrivalDir = Dir(out).Opposite()
 		p.Hops++
-		next.enqueue(p.ArrivalDir, vc, fifoEntry{pkt: p, readyAt: now + 1 + m.Pipeline + next.ExtraHopDelay})
+		// Hand-off goes through the shard mailbox and lands on the
+		// neighbor's FIFO at the cycle barrier — even for a same-shard
+		// neighbor, so queue-occupancy metrics are identical at every
+		// shard count. Timing is unchanged: the entry only becomes
+		// routable at readyAt, which is at least two cycles out.
+		sh.xfers = append(sh.xfers, xferRec{
+			to:   next,
+			port: p.ArrivalDir,
+			vc:   vc,
+			e:    fifoEntry{pkt: p, readyAt: now + 1 + m.Pipeline + next.ExtraHopDelay},
+		})
 	}
 }
 

@@ -131,7 +131,7 @@ func TestSinglePacketLatency(t *testing.T) {
 	// Total = P + D*(1+P) + 1.
 	const pipeline = 5
 	k, m, delivered := deliverySetup(t, 4, 4, pipeline)
-	p := &Packet{ID: m.NextID(), Src: 0, Dst: 3, Flits: 1}
+	p := &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 3, Flits: 1}
 	k.Step() // move off cycle 0
 	start := k.Now()
 	m.Inject(0, p, start)
@@ -150,7 +150,7 @@ func TestSinglePacketLatency(t *testing.T) {
 
 func TestLocalDeliveryNoHops(t *testing.T) {
 	k, m, delivered := deliverySetup(t, 4, 4, 5)
-	p := &Packet{ID: m.NextID(), Src: 6, Dst: 6, Flits: 1}
+	p := &Packet{ID: m.NextIDFor(0), Src: 6, Dst: 6, Flits: 1}
 	m.Inject(6, p, k.Now())
 	if !k.RunUntil(func() bool { return len(delivered) == 1 }, 100) {
 		t.Fatal("self packet never delivered")
@@ -165,8 +165,8 @@ func TestMultiFlitSerialization(t *testing.T) {
 	// the second must wait for the first to release each link, so their
 	// delivery times differ by at least flits cycles.
 	k, m, delivered := deliverySetup(t, 4, 1, 2)
-	p1 := &Packet{ID: m.NextID(), Src: 0, Dst: 3, Flits: 5}
-	p2 := &Packet{ID: m.NextID(), Src: 0, Dst: 3, Flits: 5}
+	p1 := &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 3, Flits: 5}
+	p2 := &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 3, Flits: 5}
 	m.Inject(0, p1, k.Now())
 	m.Inject(0, p2, k.Now())
 	if !k.RunUntil(func() bool { return len(delivered) == 2 }, 1000) {
@@ -185,7 +185,7 @@ func TestContentionDelaysCrossTraffic(t *testing.T) {
 	k, m, delivered := deliverySetup(t, 4, 4, 2)
 	const n = 8
 	for i := 0; i < n; i++ {
-		p := &Packet{ID: m.NextID(), Src: i, Dst: 15, Flits: 5}
+		p := &Packet{ID: m.NextIDFor(0), Src: i, Dst: 15, Flits: 5}
 		m.Inject(i, p, k.Now())
 	}
 	if !k.RunUntil(func() bool { return len(delivered) == n }, 5000) {
@@ -214,7 +214,7 @@ func TestAllPairsDelivery(t *testing.T) {
 			if s == d {
 				continue
 			}
-			p := &Packet{ID: m.NextID(), Src: s, Dst: d, Flits: 1}
+			p := &Packet{ID: m.NextIDFor(0), Src: s, Dst: d, Flits: 1}
 			m.Inject(s, p, k.Now())
 			want++
 		}
@@ -240,7 +240,7 @@ func (c *consumePolicy) Route(r *Router, p *Packet, now int64) Steer {
 		st := Steer{Consume: true}
 		if !c.spawned {
 			c.spawned = true
-			st.Spawn = []*Packet{{ID: r.mesh.NextID(), Src: c.at, Dst: p.Src, Flits: 1}}
+			st.Spawn = []*Packet{{ID: r.mesh.NextIDFor(r.NodeID), Src: c.at, Dst: p.Src, Flits: 1}}
 		}
 		c.consumed++
 		return st
@@ -259,7 +259,7 @@ func TestConsumeAndSpawn(t *testing.T) {
 		}
 		got++
 	}
-	m.Inject(0, &Packet{ID: m.NextID(), Src: 0, Dst: 5, Flits: 1}, k.Now())
+	m.Inject(0, &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 5, Flits: 1}, k.Now())
 	if !k.RunUntil(func() bool { return got == 1 }, 1000) {
 		t.Fatal("spawned reply never returned")
 	}
@@ -295,7 +295,7 @@ func TestStallHoldsPacketAndRecalls(t *testing.T) {
 	m := NewMesh(k, 4, 1, 2, 1, pol)
 	var deliveredAt int64
 	m.EjectFn = func(node int, p *Packet, now int64) { deliveredAt = now }
-	m.Inject(0, &Packet{ID: m.NextID(), Src: 0, Dst: 3, Flits: 1}, k.Now())
+	m.Inject(0, &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 3, Flits: 1}, k.Now())
 	if !k.RunUntil(func() bool { return deliveredAt != 0 }, 1000) {
 		t.Fatal("stalled packet never delivered")
 	}
@@ -315,8 +315,8 @@ func TestStallBlocksFIFOBehind(t *testing.T) {
 	m := NewMesh(k, 4, 1, 2, 1, pol)
 	order := []uint64{}
 	m.EjectFn = func(node int, p *Packet, now int64) { order = append(order, p.ID) }
-	p1 := &Packet{ID: m.NextID(), Src: 0, Dst: 3, Flits: 1}
-	p2 := &Packet{ID: m.NextID(), Src: 0, Dst: 2, Flits: 1}
+	p1 := &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 3, Flits: 1}
+	p2 := &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 2, Flits: 1}
 	m.Inject(0, p1, k.Now())
 	m.Inject(0, p2, k.Now())
 	if !k.RunUntil(func() bool { return len(order) == 2 }, 1000) {
@@ -339,7 +339,7 @@ func TestExtraHopDelay(t *testing.T) {
 	for _, r := range m.Routers {
 		r.ExtraHopDelay = 4
 	}
-	p := &Packet{ID: m.NextID(), Src: 0, Dst: 3, Flits: 1}
+	p := &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 3, Flits: 1}
 	m.Inject(0, p, k.Now())
 	if !k.RunUntil(func() bool { return len(delivered) == 1 }, 1000) {
 		t.Fatal("not delivered")
@@ -359,8 +359,8 @@ func TestRoundRobinFairness(t *testing.T) {
 	m.EjectFn = func(node int, p *Packet, now int64) { perSrc[p.Src]++ }
 	// Nodes 0 and 2 both flood node 1.
 	for i := 0; i < 20; i++ {
-		m.Inject(0, &Packet{ID: m.NextID(), Src: 0, Dst: 1, Flits: 2}, k.Now())
-		m.Inject(2, &Packet{ID: m.NextID(), Src: 2, Dst: 1, Flits: 2}, k.Now())
+		m.Inject(0, &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 1, Flits: 2}, k.Now())
+		m.Inject(2, &Packet{ID: m.NextIDFor(0), Src: 2, Dst: 1, Flits: 2}, k.Now())
 	}
 	if !k.RunUntil(func() bool { return perSrc[0]+perSrc[2] == 40 }, 5000) {
 		t.Fatalf("delivered %v", perSrc)

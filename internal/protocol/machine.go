@@ -178,6 +178,12 @@ func newMachine(spec Spec) (*Machine, error) {
 	if spec.AlwaysTick {
 		k.SetAlwaysTick(true)
 	}
+	if s := spec.Shards; s > 1 {
+		if s > cfg.Nodes() {
+			s = cfg.Nodes()
+		}
+		k.SetShards(s)
+	}
 	m := &Machine{
 		Cfg:        cfg,
 		Kernel:     k,
@@ -216,6 +222,11 @@ func (m *Machine) AttachEngine(e Engine, mesh *network.Mesh) {
 		c.NoC = metrics.NewNoC(mesh.Nodes(), mesh.InPorts(), mesh.OutPorts(), mesh.VCCount)
 		mesh.Metrics = c.NoC
 		mesh.DeliverFn = m.observeDelivery
+		// Stage route-phase flight events per shard and flush them at the
+		// barrier, so the recorded sequence matches serial execution at
+		// every shard count.
+		c.SetSharding(mesh.Shards(), meshShardHook{k: m.Kernel, mesh: mesh})
+		m.Kernel.OnBarrier(c.FlushEvents)
 	}
 	if m.faults != nil {
 		mesh.Faults = m.faults
@@ -228,6 +239,16 @@ func (m *Machine) AttachEngine(e Engine, mesh *network.Mesh) {
 		m.Kernel.SetWatchdog(w, func() int64 { return mesh.DeliveredPackets + m.LocalHits })
 	}
 }
+
+// meshShardHook adapts the kernel's tick-phase flag and the mesh's shard map
+// to the metrics.ShardHook interface.
+type meshShardHook struct {
+	k    *sim.Kernel
+	mesh *network.Mesh
+}
+
+func (h meshShardHook) InTick() bool         { return h.k.InTick() }
+func (h meshShardHook) ShardOf(node int) int { return h.mesh.ShardOf(node) }
 
 // Engine returns the attached coherence engine.
 func (m *Machine) Engine() Engine { return m.engine }
@@ -431,6 +452,21 @@ func (m *Machine) observeDelivery(p *network.Packet, consumed bool, now int64) {
 	a.serial += p.SerialWait()
 }
 
+// Defer schedules fn after delay cycles on behalf of node. From the event
+// phase it is exactly Kernel.Schedule; from inside a sharded tick — where
+// touching the global event heap would race and its push order would depend
+// on shard interleaving — the call is queued on the shard owning node's
+// router and reaches the heap at the cycle barrier, in router-id order.
+// Route-phase callers always act at the node being ticked, so the shard
+// derived from node is the caller's own.
+func (m *Machine) Defer(node int, delay int64, fn func()) {
+	if m.Kernel.InTick() {
+		m.Kernel.Defer(m.Mesh.ShardOf(node), delay, fn)
+		return
+	}
+	m.Kernel.Schedule(delay, fn)
+}
+
 // NICSchedule runs fn after a service-time occupancy of node's network
 // interface: the cache controller at each NIC has one port, so directory
 // and data-cache accesses made on behalf of the protocol serialize. (The
@@ -444,7 +480,7 @@ func (m *Machine) NICSchedule(node int, service int64, fn func()) {
 		start = m.nicBusy[node]
 	}
 	m.nicBusy[node] = start + service
-	m.Kernel.Schedule(start+service-now, fn)
+	m.Defer(node, start+service-now, fn)
 }
 
 // OutstandingAddr returns the address and kind of node's in-flight access,
@@ -488,7 +524,7 @@ func (m *Machine) evictCleanup(node int, addr uint64, line DataLine, now int64) 
 	// work that installs further lines (e.g. the tree protocol's victim
 	// caching after an instant teardown), and running that synchronously
 	// would re-enter InstallLine and invalidate its line pointer.
-	m.Kernel.Schedule(1, func() {
+	m.Defer(node, 1, func() {
 		m.engine.OnL2Evict(node, addr, line, m.Kernel.Now())
 	})
 }
@@ -523,8 +559,8 @@ func (m *Machine) NewPacket(src, dst int, msg *Msg) *network.Packet {
 	if msg.Type.IsData() {
 		flits = m.Cfg.DataFlits
 	}
-	p := m.Mesh.AllocPacket()
-	p.ID = m.Mesh.NextID()
+	p := m.Mesh.AllocPacketFor(src)
+	p.ID = m.Mesh.NextIDFor(src)
 	p.Src = src
 	p.Dst = dst
 	p.Flits = flits
@@ -562,6 +598,10 @@ func (m *Machine) Run(maxCycles int64) error {
 	if m.engine == nil {
 		return fmt.Errorf("protocol: no engine attached")
 	}
+	// Shard workers are started lazily by the kernel; release them when
+	// the run ends so processes that build many machines don't accumulate
+	// parked goroutines.
+	defer m.Kernel.ReleaseWorkers()
 	m.startInvariantProbe()
 	done := m.Kernel.RunUntil(func() bool { return m.fatal != nil || m.Quiesced() }, maxCycles)
 	if c := m.Metrics; c != nil && c.NoC != nil {

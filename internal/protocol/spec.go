@@ -153,6 +153,16 @@ type Spec struct {
 	// tail) if the run fails to quiesce. It is diagnostic output only
 	// and must never enter a job's cache identity.
 	HangDumpPath string
+
+	// Shards is the spatial-decomposition width of the sharded tick
+	// engine: the mesh is split into this many contiguous router-id bands,
+	// each ticked by its own worker within a cycle. Values below 2 (and
+	// counts above the node count, which the mesh clamps) run serially.
+	// Simulation output is byte-identical at every shard count — the
+	// parallel differential test in internal/verify asserts it — so
+	// Shards is a pure throughput knob and never part of a result's
+	// identity.
+	Shards int
 }
 
 // Validate reports spec errors without building anything.

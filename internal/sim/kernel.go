@@ -39,6 +39,22 @@
 // When every ticker is parked, Run and RunUntil fast-forward the clock to
 // the next scheduled event instead of stepping through cycles in which
 // nothing can happen.
+//
+// # Sharded parallel ticking
+//
+// Tickers assigned to spatial shards (SetShards + AssignShard) form a second
+// tick segment that can execute on worker goroutines, one per shard, within
+// a cycle. Unassigned tickers stay in the serial coordinator segment and
+// tick first, in registration order. Sharded tickers must not touch state
+// owned by another shard during their Tick; cross-shard effects are instead
+// deferred — either through Defer, whose queues the kernel drains at the
+// cycle barrier in shard order, or through caller-registered OnBarrier
+// flush hooks (the network's link mailboxes). Because shards hold
+// contiguous ticker ranges and each shard processes its tickers in
+// ascending order, the barrier drain order equals the serial registration
+// order for every shard count — which is what makes parallel output
+// byte-identical to shards=1. See DESIGN.md's shard/barrier section for the
+// full determinism argument.
 package sim
 
 // Ticker is implemented by components that need to perform work every cycle,
@@ -142,11 +158,27 @@ type Kernel struct {
 	now        int64
 	seq        uint64
 	slots      []tickerSlot
-	active     int // count of active slots
+	slotShard  []int // per slot: owning shard, or -1 for the coordinator
 	events     eventHeap
 	pending    int // scheduled callbacks (fn events) not yet fired
 	rng        *RNG
 	alwaysTick bool
+
+	// Sharded tick segment (see shard.go). coordActive counts active
+	// coordinator slots; shardActive[s] counts active slots of shard s and
+	// is only touched by the coordinator or by shard s's own worker, so no
+	// counter is ever written concurrently.
+	shards      int
+	nSharded    int
+	coordActive int
+	shardActive []int
+	shardSlots  [][]TickerID
+	inTick      bool
+	deferred    [][]deferredCall
+	barrierFns  []func()
+	workCh      []chan int64
+	doneCh      []chan struct{}
+	workBuf     []int
 
 	// Hang watchdog (SetWatchdog). fired counts events ever fired — the
 	// kernel's own progress signal — and watchFn adds the caller's
@@ -165,7 +197,9 @@ type Kernel struct {
 // seed. Two kernels built with the same seed and the same component
 // registration order produce bit-identical simulations.
 func NewKernel(seed uint64) *Kernel {
-	return &Kernel{rng: NewRNG(seed)}
+	k := &Kernel{rng: NewRNG(seed)}
+	k.initShards(1)
+	return k
 }
 
 // Now returns the current cycle.
@@ -183,7 +217,8 @@ func (k *Kernel) Register(t Ticker) TickerID {
 		s.parker = p
 	}
 	k.slots = append(k.slots, s)
-	k.active++
+	k.slotShard = append(k.slotShard, -1)
+	k.coordActive++
 	return TickerID(len(k.slots) - 1)
 }
 
@@ -191,11 +226,18 @@ func (k *Kernel) Register(t Ticker) TickerID {
 // producers call it unconditionally when handing a component new work. A
 // ticker woken during the current cycle's event phase, or by an
 // earlier-registered ticker in the same cycle, ticks in that same cycle.
+// Wake may be called from a shard worker only for tickers of that worker's
+// own shard (the self-wake a router performs when spawning into its own
+// queues); every other caller runs on the coordinator.
 func (k *Kernel) Wake(id TickerID) {
 	s := &k.slots[id]
 	if !s.active {
 		s.active = true
-		k.active++
+		if sh := k.slotShard[id]; sh >= 0 {
+			k.shardActive[sh]++
+		} else {
+			k.coordActive++
+		}
 	}
 }
 
@@ -223,8 +265,7 @@ func (k *Kernel) SetAlwaysTick(on bool) {
 	if on {
 		for i := range k.slots {
 			if !k.slots[i].active {
-				k.slots[i].active = true
-				k.active++
+				k.Wake(TickerID(i))
 			}
 		}
 	}
@@ -248,8 +289,11 @@ func (k *Kernel) Schedule(delay int64, fn func()) int64 {
 
 // Step advances the clock one cycle: the cycle counter increments, due
 // events fire in schedule order (wake timers reactivate their tickers),
-// then all active tickers tick in registration order, and active Parkers
-// reporting quiescence are parked.
+// then active coordinator tickers tick in registration order, then the
+// sharded segment ticks (in parallel when multiple shards have work),
+// followed by the cycle barrier: OnBarrier flush hooks run in registration
+// order and the per-shard Defer queues drain in shard order. Active Parkers
+// reporting quiescence are parked as they tick.
 func (k *Kernel) Step() {
 	k.now++
 	for len(k.events) > 0 && k.events[0].at <= k.now {
@@ -263,6 +307,9 @@ func (k *Kernel) Step() {
 		}
 	}
 	for i := range k.slots {
+		if k.slotShard[i] >= 0 {
+			continue
+		}
 		s := &k.slots[i]
 		if !s.active {
 			continue
@@ -270,15 +317,24 @@ func (k *Kernel) Step() {
 		s.t.Tick(k.now)
 		if !k.alwaysTick && s.parker != nil && s.parker.Quiescent() {
 			s.active = false
-			k.active--
+			k.coordActive--
 		}
+	}
+	if k.nSharded > 0 {
+		k.inTick = true
+		k.tickShards()
+		k.inTick = false
+		for _, fn := range k.barrierFns {
+			fn()
+		}
+		k.drainDeferred()
 	}
 	if k.watchW > 0 && k.now >= k.watchAt {
 		p := k.fired
 		if k.watchFn != nil {
 			p += k.watchFn()
 		}
-		if p == k.watchLast && k.active > 0 {
+		if p == k.watchLast && k.activeTotal() > 0 {
 			k.hung = true
 		}
 		k.watchLast = p
@@ -311,7 +367,7 @@ func (k *Kernel) Hung() bool { return k.hung }
 // cycle before it and let Step fire it. The clock never passes limit-1, so
 // callers' loop bounds hold exactly. Returns whether a skip happened.
 func (k *Kernel) skipIdle(limit int64) bool {
-	if k.active != 0 || k.alwaysTick {
+	if k.activeTotal() != 0 || k.alwaysTick {
 		return false
 	}
 	target := limit - 1

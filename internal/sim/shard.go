@@ -1,0 +1,214 @@
+package sim
+
+// This file is the sharded tick segment: the spatial-decomposition layer
+// that lets one simulation tick its routers on multiple cores while staying
+// byte-identical to serial execution.
+//
+// The model is bulk-synchronous: within a cycle, every sharded ticker ticks
+// against the state frozen at the cycle's start (its own FIFOs, its own
+// node's controller state), and every effect that crosses a shard boundary
+// — a flit handed to a neighboring router, a callback scheduled on the
+// global event heap — is deferred and applied at the cycle barrier by the
+// coordinator. Determinism does not come from locks but from ordering: each
+// shard owns a contiguous range of ticker IDs and processes them in
+// ascending order, so concatenating the per-shard deferral queues in shard
+// order reproduces the single global ascending-ID order regardless of the
+// shard count (including 1). Serial mode is not a separate code path; it is
+// shards=1 of the same machinery.
+
+// deferredCall is one entry of a shard's barrier queue: run fn at the
+// barrier (delay <= 0) or push it onto the event heap with the given delay
+// (delay >= 1, same clamp as Schedule).
+type deferredCall struct {
+	delay int64
+	fn    func()
+}
+
+// initShards (re)initializes the shard tables for n shards.
+func (k *Kernel) initShards(n int) {
+	k.shards = n
+	k.shardActive = make([]int, n)
+	k.shardSlots = make([][]TickerID, n)
+	k.deferred = make([][]deferredCall, n)
+	k.workBuf = make([]int, 0, n)
+}
+
+// SetShards declares the shard count for the sharded tick segment (clamped
+// to at least 1). It must be called before any AssignShard; NewKernel
+// starts at 1 shard. The count caps worker parallelism — it does not by
+// itself create goroutines, which start lazily on the first cycle where two
+// or more shards have active tickers.
+func (k *Kernel) SetShards(n int) {
+	if k.nSharded > 0 {
+		panic("sim: SetShards after AssignShard")
+	}
+	if n < 1 {
+		n = 1
+	}
+	k.initShards(n)
+}
+
+// Shards returns the configured shard count.
+func (k *Kernel) Shards() int { return k.shards }
+
+// AssignShard moves a registered ticker from the coordinator segment into
+// shard s. Tickers must be assigned at most once, in ascending TickerID
+// order per shard, with all of a shard's IDs contiguous and below the next
+// shard's — the layout NewMesh produces — because barrier determinism rests
+// on per-shard queues concatenating into ascending-ID order.
+func (k *Kernel) AssignShard(id TickerID, s int) {
+	if s < 0 || s >= k.shards {
+		panic("sim: AssignShard out of range")
+	}
+	if k.slotShard[id] != -1 {
+		panic("sim: ticker assigned to a shard twice")
+	}
+	if k.slots[id].active {
+		k.coordActive--
+		k.shardActive[s]++
+	}
+	k.slotShard[id] = s
+	k.shardSlots[s] = append(k.shardSlots[s], id)
+	k.nSharded++
+}
+
+// InTick reports whether the kernel is inside the sharded tick segment of
+// the current cycle. Code that can run both from event handlers and from
+// sharded ticks (the protocol layer's controller helpers) uses it to decide
+// between a direct Schedule and a Defer.
+func (k *Kernel) InTick() bool { return k.inTick }
+
+// Defer queues fn on shard s's barrier queue: with delay >= 1 the barrier
+// pushes it onto the event heap exactly as Schedule(delay, fn) would; with
+// delay <= 0 the barrier runs it immediately (still this cycle, after all
+// ticks). Callers inside the tick segment must pass the shard that owns the
+// state fn originates from — for node-pinned work, the node's shard — so
+// the drain order is the same at every shard count.
+func (k *Kernel) Defer(s int, delay int64, fn func()) {
+	k.deferred[s] = append(k.deferred[s], deferredCall{delay: delay, fn: fn})
+}
+
+// OnBarrier registers a flush hook run at every cycle barrier, after the
+// sharded ticks join and before the Defer queues drain. Hooks run in
+// registration order on the coordinator; the network layer uses one to move
+// mailboxed flits onto their destination routers' input FIFOs.
+func (k *Kernel) OnBarrier(fn func()) {
+	k.barrierFns = append(k.barrierFns, fn)
+}
+
+// activeTotal returns the active-ticker count across the coordinator and
+// all shards. Only called from coordinator contexts.
+func (k *Kernel) activeTotal() int {
+	n := k.coordActive
+	for _, a := range k.shardActive {
+		n += a
+	}
+	return n
+}
+
+// tickShard ticks every active slot of shard s in ascending ID order,
+// parking quiescent Parkers. It runs on the coordinator or on shard s's
+// worker; all state it touches (the slots, the shard's active count) is
+// owned by that context for the duration of the tick segment.
+func (k *Kernel) tickShard(s int, now int64) {
+	for _, id := range k.shardSlots[s] {
+		sl := &k.slots[id]
+		if !sl.active {
+			continue
+		}
+		sl.t.Tick(now)
+		if !k.alwaysTick && sl.parker != nil && sl.parker.Quiescent() {
+			sl.active = false
+			k.shardActive[s]--
+		}
+	}
+}
+
+// tickShards runs the sharded segment for one cycle. Shards with no active
+// tickers are skipped entirely; with zero or one busy shard everything runs
+// inline on the coordinator, so idle-heavy phases pay no dispatch cost.
+func (k *Kernel) tickShards() {
+	if k.shards == 1 {
+		k.tickShard(0, k.now)
+		return
+	}
+	work := k.workBuf[:0]
+	for s := 0; s < k.shards; s++ {
+		if k.alwaysTick || k.shardActive[s] > 0 {
+			work = append(work, s)
+		}
+	}
+	k.workBuf = work
+	if len(work) <= 1 {
+		if len(work) == 1 {
+			k.tickShard(work[0], k.now)
+		}
+		return
+	}
+	k.ensureWorkers()
+	for _, s := range work[1:] {
+		k.workCh[s] <- k.now
+	}
+	k.tickShard(work[0], k.now)
+	for _, s := range work[1:] {
+		<-k.doneCh[s]
+	}
+}
+
+// ensureWorkers lazily starts one goroutine per shard. Workers block on
+// their work channel between cycles and exit when ReleaseWorkers closes it.
+func (k *Kernel) ensureWorkers() {
+	if k.workCh != nil {
+		return
+	}
+	k.workCh = make([]chan int64, k.shards)
+	k.doneCh = make([]chan struct{}, k.shards)
+	for s := 0; s < k.shards; s++ {
+		work := make(chan int64, 1)
+		done := make(chan struct{}, 1)
+		k.workCh[s] = work
+		k.doneCh[s] = done
+		go func(s int) {
+			for now := range work {
+				k.tickShard(s, now)
+				done <- struct{}{}
+			}
+		}(s)
+	}
+}
+
+// ReleaseWorkers stops the shard worker goroutines, if any were started.
+// Safe to call at any point between Steps; a later Step restarts them on
+// demand. Long-lived processes that build many machines (test suites, the
+// experiment pool) call this when a run finishes so workers don't
+// accumulate.
+func (k *Kernel) ReleaseWorkers() {
+	if k.workCh == nil {
+		return
+	}
+	for _, ch := range k.workCh {
+		close(ch)
+	}
+	k.workCh = nil
+	k.doneCh = nil
+}
+
+// drainDeferred applies the per-shard barrier queues in shard order. Within
+// a queue, entries apply in append order; across queues, shard order equals
+// ascending ticker-ID order by the AssignShard contiguity contract — so the
+// global drain order is independent of the shard count.
+func (k *Kernel) drainDeferred() {
+	for s := range k.deferred {
+		q := k.deferred[s]
+		for i := range q {
+			d := q[i]
+			if d.delay <= 0 {
+				d.fn()
+			} else {
+				k.Schedule(d.delay, d.fn)
+			}
+			q[i] = deferredCall{} // drop the closure reference
+		}
+		k.deferred[s] = q[:0]
+	}
+}

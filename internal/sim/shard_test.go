@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// deferTicker appends its id to a shared log through its shard's barrier
+// queue every cycle; the log order is the determinism signature the tests
+// compare across shard counts.
+type deferTicker struct {
+	k     *Kernel
+	id    int
+	shard int
+	log   *[]int
+}
+
+func (t *deferTicker) Tick(now int64) {
+	if !t.k.InTick() {
+		panic("sharded ticker ran outside the tick segment")
+	}
+	t.k.Defer(t.shard, 0, func() { *t.log = append(*t.log, t.id) })
+}
+
+// buildSharded registers n deferTickers split into the given number of
+// shards with the contiguous-band layout NewMesh uses.
+func buildSharded(n, shards int) (*Kernel, *[]int) {
+	k := NewKernel(1)
+	k.SetShards(shards)
+	var log []int
+	for i := 0; i < n; i++ {
+		st := &deferTicker{k: k, id: i, shard: i * shards / n, log: &log}
+		k.AssignShard(k.Register(st), st.shard)
+	}
+	return k, &log
+}
+
+// TestDeferDrainOrderIndependentOfShardCount is the kernel-level
+// determinism contract: per-shard Defer queues drained in shard order must
+// reproduce the serial (shards=1) order at every shard count, because
+// shards are contiguous ascending-ID bands each ticked in ascending order.
+func TestDeferDrainOrderIndependentOfShardCount(t *testing.T) {
+	const n, cycles = 12, 5
+	k, base := buildSharded(n, 1)
+	k.Run(cycles)
+	if len(*base) != n*cycles {
+		t.Fatalf("serial log has %d entries, want %d", len(*base), n*cycles)
+	}
+	for _, s := range []int{2, 3, 4, n} {
+		k, log := buildSharded(n, s)
+		k.Run(cycles)
+		k.ReleaseWorkers()
+		if !reflect.DeepEqual(*log, *base) {
+			t.Errorf("shards=%d drain order %v != serial %v", s, *log, *base)
+		}
+	}
+}
+
+// TestDeferDelayedMatchesSchedule checks the two Defer regimes: delay <= 0
+// runs at the deferring cycle's barrier (Now unchanged), delay >= 1 lands
+// on the event heap exactly as Schedule(delay, fn) from the barrier would.
+func TestDeferDelayedMatchesSchedule(t *testing.T) {
+	k := NewKernel(1)
+	k.SetShards(2)
+	var barrierAt, delayedAt int64 = -1, -1
+	deferred := false
+	tick := func(tk *deferTicker, now int64) {
+		if now == 2 && tk.id == 1 && !deferred {
+			deferred = true
+			tk.k.Defer(tk.shard, 0, func() {
+				if tk.k.InTick() {
+					t.Error("barrier drain ran with InTick true")
+				}
+				barrierAt = tk.k.Now()
+			})
+			tk.k.Defer(tk.shard, 3, func() { delayedAt = tk.k.Now() })
+		}
+	}
+	for i := 0; i < 2; i++ {
+		st := &deferTicker{k: k, id: i, shard: i}
+		var log []int
+		st.log = &log
+		tid := k.Register(tickFunc(func(now int64) { tick(st, now) }))
+		k.AssignShard(tid, st.shard)
+	}
+	k.Run(10)
+	k.ReleaseWorkers()
+	if barrierAt != 2 {
+		t.Errorf("barrier-drained call ran at cycle %d, want 2", barrierAt)
+	}
+	if delayedAt != 5 {
+		t.Errorf("delayed Defer fired at cycle %d, want 5 (2 + delay 3)", delayedAt)
+	}
+}
+
+// tickFunc adapts a function to the Ticker interface.
+type tickFunc func(now int64)
+
+func (f tickFunc) Tick(now int64) { f(now) }
+
+// TestOnBarrierHooksRunBeforeDrainInOrder checks the barrier sequence:
+// after the sharded ticks join, flush hooks run in registration order,
+// then the Defer queues drain.
+func TestOnBarrierHooksRunBeforeDrainInOrder(t *testing.T) {
+	k := NewKernel(1)
+	k.SetShards(2)
+	var seq []string
+	for i := 0; i < 2; i++ {
+		i := i
+		tid := k.Register(tickFunc(func(now int64) {
+			if now == 1 {
+				k.Defer(i, 0, func() { seq = append(seq, "drain") })
+			}
+		}))
+		k.AssignShard(tid, i)
+	}
+	k.OnBarrier(func() { seq = append(seq, "hook-a") })
+	k.OnBarrier(func() { seq = append(seq, "hook-b") })
+	k.Run(1)
+	k.ReleaseWorkers()
+	want := []string{"hook-a", "hook-b", "drain", "drain"}
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("barrier sequence %v, want %v", seq, want)
+	}
+}
+
+// TestReleaseWorkersRestart checks that worker goroutines can be released
+// mid-run and restart transparently on the next Step, without disturbing
+// the drain order.
+func TestReleaseWorkersRestart(t *testing.T) {
+	const n, cycles = 8, 6
+	k, base := buildSharded(n, 1)
+	k.Run(cycles)
+
+	k2, log := buildSharded(n, 4)
+	k2.Run(3)
+	k2.ReleaseWorkers()
+	k2.Run(cycles) // restarts workers on demand
+	k2.ReleaseWorkers()
+	if !reflect.DeepEqual(*log, *base) {
+		t.Errorf("split run drain order %v != serial %v", *log, *base)
+	}
+	// Releasing with no workers started (or twice) is a no-op.
+	k2.ReleaseWorkers()
+}
+
+// TestSetShardsAfterAssignPanics pins the construction contract: the shard
+// count must be fixed before tickers are placed.
+func TestSetShardsAfterAssignPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.SetShards(2)
+	k.AssignShard(k.Register(tickFunc(func(int64) {})), 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetShards after AssignShard did not panic")
+		}
+	}()
+	k.SetShards(4)
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Accumulator tracks count, sum, min and max of a stream of samples.
@@ -120,30 +121,37 @@ func Reduction(base, measured float64) float64 {
 
 // Sampler retains all samples for distribution queries (percentiles); the
 // simulator attaches one per access class when detailed reporting is on.
+// A running sum makes Mean O(1), and the sorted flag makes a Summarize (or
+// any burst of Percentile calls) sort at most once until the next Add.
 type Sampler struct {
 	vals   []float64
+	sum    float64
 	sorted bool
 }
 
 // Add records one sample.
 func (s *Sampler) Add(v float64) {
 	s.vals = append(s.vals, v)
+	s.sum += v
 	s.sorted = false
 }
 
 // N returns the number of samples.
 func (s *Sampler) N() int { return len(s.vals) }
 
-// Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank, or 0 with no samples.
-func (s *Sampler) Percentile(p float64) float64 {
-	if len(s.vals) == 0 {
-		return 0
-	}
+// ensureSorted sorts the sample vector if an Add invalidated it. It is the
+// single sort site: Percentile and Summarize both go through it, so a
+// summary costs one sort, not one per percentile.
+func (s *Sampler) ensureSorted() {
 	if !s.sorted {
 		sort.Float64s(s.vals)
 		s.sorted = true
 	}
+}
+
+// rank returns the nearest-rank index value for percentile p on the sorted
+// vector; callers guarantee at least one sample.
+func (s *Sampler) rank(p float64) float64 {
 	if p <= 0 {
 		return s.vals[0]
 	}
@@ -157,16 +165,22 @@ func (s *Sampler) Percentile(p float64) float64 {
 	return s.vals[rank-1]
 }
 
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or 0 with no samples.
+func (s *Sampler) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.rank(p)
+}
+
 // Mean returns the sample mean, or 0 with no samples.
 func (s *Sampler) Mean() float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range s.vals {
-		sum += v
-	}
-	return sum / float64(len(s.vals))
+	return s.sum / float64(len(s.vals))
 }
 
 // Summary is the standard latency report: the mean the paper's tables use
@@ -179,16 +193,20 @@ type Summary struct {
 }
 
 // Summarize computes the sampler's summary (zero value with no samples).
+// It sorts at most once per Add burst and reads every statistic off the
+// sorted vector and the running sum, so repeated summaries allocate
+// nothing and do no re-sorting.
 func (s *Sampler) Summarize() Summary {
 	if len(s.vals) == 0 {
 		return Summary{}
 	}
+	s.ensureSorted()
 	return Summary{
 		N:    int64(len(s.vals)),
-		Mean: s.Mean(),
-		P50:  s.Percentile(50),
-		P95:  s.Percentile(95),
-		P99:  s.Percentile(99),
+		Mean: s.sum / float64(len(s.vals)),
+		P50:  s.rank(50),
+		P95:  s.rank(95),
+		P99:  s.rank(99),
 	}
 }
 
@@ -198,28 +216,40 @@ func (s Summary) String() string {
 }
 
 // Counters is a string-keyed event counter set for protocol bookkeeping
-// (teardowns spawned, deadlocks recovered, victim hits, ...).
+// (teardowns spawned, deadlocks recovered, victim hits, ...). Inc is called
+// from the sharded route phase, so the map is mutex-guarded; counter totals
+// are order-independent, which keeps results byte-identical across shard
+// counts.
 type Counters struct {
-	m map[string]int64
+	mu sync.Mutex
+	m  map[string]int64
 }
 
 // Inc adds delta to counter name.
 func (c *Counters) Inc(name string, delta int64) {
+	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[string]int64)
 	}
 	c.m[name] += delta
+	c.mu.Unlock()
 }
 
 // Get returns counter name (zero if never incremented).
-func (c *Counters) Get(name string) int64 { return c.m[name] }
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
 
 // Names returns all counter names in sorted order.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
 	names := make([]string, 0, len(c.m))
 	for k := range c.m {
 		names = append(names, k)
 	}
+	c.mu.Unlock()
 	sort.Strings(names)
 	return names
 }

@@ -246,6 +246,95 @@ func TestSummarizeConstantAndEmpty(t *testing.T) {
 	}
 }
 
+func TestSummarizeMatchesPercentileAPI(t *testing.T) {
+	// The one-pass summary must agree with the public Percentile calls it
+	// replaced, across add/query interleavings that flip the sorted flag.
+	err := quick.Check(func(xs, ys []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var s Sampler
+		for _, x := range xs {
+			s.Add(float64(x))
+		}
+		_ = s.Summarize() // sorts
+		for _, y := range ys {
+			s.Add(float64(y)) // invalidates
+		}
+		sum := s.Summarize()
+		return sum.P50 == s.Percentile(50) &&
+			sum.P95 == s.Percentile(95) &&
+			sum.P99 == s.Percentile(99) &&
+			math.Abs(sum.Mean-s.Mean()) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDoesNotAllocate(t *testing.T) {
+	var s Sampler
+	for i := 0; i < 4096; i++ {
+		s.Add(float64((i * 2654435761) % 10000))
+	}
+	s.Summarize() // pay the one sort up front
+	if allocs := testing.AllocsPerRun(100, func() { s.Summarize() }); allocs != 0 {
+		t.Fatalf("Summarize allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	// Inc is called from the sharded route phase; hammer it from several
+	// goroutines and check totals (run under -race to catch unguarded maps).
+	var c Counters
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				c.Inc("shared", 1)
+				c.Inc("other", 2)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := c.Get("shared"); got != 4000 {
+		t.Fatalf("shared=%d, want 4000", got)
+	}
+	if got := c.Get("other"); got != 8000 {
+		t.Fatalf("other=%d, want 8000", got)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	// The per-summary hot path: after the first sort, Summarize must be
+	// allocation-free and O(1) (run with -benchmem to see 0 allocs/op).
+	var s Sampler
+	for i := 0; i < 1<<16; i++ {
+		s.Add(float64((i * 2654435761) % 100000))
+	}
+	s.Summarize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sum := s.Summarize(); sum.N == 0 {
+			b.Fatal("empty summary")
+		}
+	}
+}
+
+func BenchmarkSamplerAdd(b *testing.B) {
+	// Steady-state Add is an append plus a sum update; amortized it must
+	// stay well under one allocation per sample.
+	b.ReportAllocs()
+	var s Sampler
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i & 1023))
+	}
+}
+
 func TestSamplerPercentileMonotoneProperty(t *testing.T) {
 	err := quick.Check(func(xs []int16) bool {
 		if len(xs) == 0 {

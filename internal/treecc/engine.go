@@ -1,6 +1,9 @@
 package treecc
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"innetcc/internal/cache"
 	"innetcc/internal/metrics"
 	"innetcc/internal/network"
@@ -17,25 +20,37 @@ type Engine struct {
 
 	// homeQueue holds requests that reached the home node while the
 	// line's tree was being torn down; they are re-released when the
-	// teardown completes (Requirement 1).
-	homeQueue map[uint64][]*protocol.Msg
+	// teardown completes (Requirement 1). The maps are per home node —
+	// every access happens at an address's home, so partitioning by node
+	// pins each map to one shard of the sharded tick engine.
+	homeQueue []map[uint64][]*protocol.Msg
 
 	// pending marks addresses whose home is currently producing a reply
 	// (memory fetch, victim lookup or write grant in progress); requests
 	// arriving meanwhile queue here and re-release just after the reply
-	// is injected, keeping home-side serialization airtight.
-	pending map[uint64][]*protocol.Msg
+	// is injected, keeping home-side serialization airtight. Per home
+	// node, like homeQueue.
+	pending []map[uint64][]*protocol.Msg
 
 	// rootData holds the version captured from a tree's root as the
 	// tree is torn down, modeling the paper's piggybacking of the
 	// root's data in the acknowledgment that terminates at the home
 	// node (the victim-caching optimization). One tree exists per
-	// address at a time, so the map is keyed by address.
+	// address at a time, so the map is keyed by address; it is written
+	// at the root's shard and read at the home's, hence the mutex.
 	rootData map[uint64]uint64
+	rootMu   sync.Mutex
 
-	queued int // entries across homeQueue and pending, for Quiesced
+	// queued counts entries across homeQueue, pending and backoff waits,
+	// for Quiesced. Route-phase code on different shards updates it
+	// concurrently, so it is atomic; Quiesced reads it between cycles.
+	queued int64
 
-	genCounter uint64 // tree-line generation stamps (see TreeLine.Gen)
+	// genCounters are the per-node tree-line generation stamps (see
+	// TreeLine.Gen). Generations are only ever compared within one
+	// node's tree cache, so per-node counters — which sharded ticking
+	// requires — stamp equivalently to the old global counter.
+	genCounters []uint64
 }
 
 func init() {
@@ -50,13 +65,16 @@ func init() {
 func New(m *protocol.Machine) *Engine {
 	cfg := m.Cfg
 	e := &Engine{
-		m:         m,
-		homeQueue: make(map[uint64][]*protocol.Msg),
-		pending:   make(map[uint64][]*protocol.Msg),
-		rootData:  make(map[uint64]uint64),
+		m:           m,
+		homeQueue:   make([]map[uint64][]*protocol.Msg, cfg.Nodes()),
+		pending:     make([]map[uint64][]*protocol.Msg, cfg.Nodes()),
+		rootData:    make(map[uint64]uint64),
+		genCounters: make([]uint64, cfg.Nodes()),
 	}
 	for i := 0; i < cfg.Nodes(); i++ {
 		e.trees = append(e.trees, cache.New[TreeLine](cfg.TreeEntries, cfg.TreeWays))
+		e.homeQueue[i] = make(map[uint64][]*protocol.Msg)
+		e.pending[i] = make(map[uint64][]*protocol.Msg)
 	}
 	pipeline := cfg.BasePipeline + cfg.TreePipeline
 	if cfg.AboveNetworkTree {
@@ -75,10 +93,28 @@ func New(m *protocol.Machine) *Engine {
 // Tree exposes a node's virtual tree cache for tests and invariant checks.
 func (e *Engine) Tree(node int) *cache.Cache[TreeLine] { return e.trees[node] }
 
-// nextGen stamps a freshly (re)initialized tree line.
-func (e *Engine) nextGen() uint64 {
-	e.genCounter++
-	return e.genCounter
+// nextGen stamps a freshly (re)initialized tree line at node.
+func (e *Engine) nextGen(node int) uint64 {
+	e.genCounters[node]++
+	return e.genCounters[node]
+}
+
+// setRootData and takeRootData guard the root-data victim map: the capture
+// happens at the tree root's shard mid-tick, the consumption at the home's.
+func (e *Engine) setRootData(addr uint64, version uint64) {
+	e.rootMu.Lock()
+	e.rootData[addr] = version
+	e.rootMu.Unlock()
+}
+
+func (e *Engine) takeRootData(addr uint64) (uint64, bool) {
+	e.rootMu.Lock()
+	v, ok := e.rootData[addr]
+	if ok {
+		delete(e.rootData, addr)
+	}
+	e.rootMu.Unlock()
+	return v, ok
 }
 
 // replicate schedules an above-network install of the reply's data at an
@@ -350,14 +386,14 @@ func (e *Engine) OnL2Evict(node int, addr uint64, dl protocol.DataLine, now int6
 	if !line.IsRoot || line.Touched {
 		return
 	}
-	e.rootData[addr] = dl.Version
+	e.setRootData(addr, dl.Version)
 	for _, p := range e.processTeardown(node, addr, network.DirNone, false) {
 		e.m.Mesh.Spawn(node, p, now)
 	}
 }
 
 // Quiesced implements protocol.Engine.
-func (e *Engine) Quiesced() bool { return e.queued == 0 }
+func (e *Engine) Quiesced() bool { return atomic.LoadInt64(&e.queued) == 0 }
 
 // MetricsGauges implements metrics.GaugeSource: total live tree-cache lines
 // across all routers, and the queued-request backlog (home queue + pending
@@ -366,39 +402,48 @@ func (e *Engine) MetricsGauges() (occupancy, queueDepth int) {
 	for _, t := range e.trees {
 		occupancy += t.Len()
 	}
-	return occupancy, e.queued
+	return occupancy, int(atomic.LoadInt64(&e.queued))
 }
 
 // --- pending / home-queue management -----------------------------------
+//
+// All of these run at an address's home node (route phase at the home's
+// router, or event-phase home work), so the per-node maps are only ever
+// touched by the home's own shard or the coordinator.
 
 func (e *Engine) setPending(addr uint64) {
-	if _, ok := e.pending[addr]; !ok {
-		e.pending[addr] = nil
+	p := e.pending[e.home(addr)]
+	if _, ok := p[addr]; !ok {
+		p[addr] = nil
 	}
 }
 
 func (e *Engine) queueOnPending(addr uint64, msg *protocol.Msg) {
-	e.pending[addr] = append(e.pending[addr], msg)
-	e.queued++
+	p := e.pending[e.home(addr)]
+	p[addr] = append(p[addr], msg)
+	atomic.AddInt64(&e.queued, 1)
 }
 
 func (e *Engine) releasePending(addr uint64, home int) {
-	waiters, ok := e.pending[addr]
+	p := e.pending[home]
+	waiters, ok := p[addr]
 	if !ok {
 		return
 	}
-	delete(e.pending, addr)
+	delete(p, addr)
 	now := e.m.Kernel.Now()
 	for _, w := range waiters {
-		e.queued--
+		atomic.AddInt64(&e.queued, -1)
 		e.m.Mesh.Spawn(home, e.packet(home, w), now)
 	}
 }
 
 func (e *Engine) queueAtHome(addr uint64, msg *protocol.Msg) {
-	e.homeQueue[addr] = append(e.homeQueue[addr], msg)
-	e.queued++
-	e.m.Metrics.Event(e.m.Kernel.Now(), metrics.EvHomeQueued, int16(e.home(addr)), addr, int64(msg.Requester))
+	home := e.home(addr)
+	q := e.homeQueue[home]
+	q[addr] = append(q[addr], msg)
+	atomic.AddInt64(&e.queued, 1)
+	e.m.Metrics.Event(e.m.Kernel.Now(), metrics.EvHomeQueued, int16(home), addr, int64(msg.Requester))
 }
 
 // teardownComplete runs when the home node's last virtual link clears: the
@@ -406,17 +451,16 @@ func (e *Engine) queueAtHome(addr uint64, msg *protocol.Msg) {
 // release requests queued behind the teardown.
 func (e *Engine) teardownComplete(addr uint64) {
 	home := e.home(addr)
-	e.debugf(addr, "teardownComplete home=n%d queued=%d", home, len(e.homeQueue[addr]))
+	e.debugf(addr, "teardownComplete home=n%d queued=%d", home, len(e.homeQueue[home][addr]))
 	now := e.m.Kernel.Now()
-	if v, ok := e.rootData[addr]; ok {
-		delete(e.rootData, addr)
+	if v, ok := e.takeRootData(addr); ok {
 		if e.m.Cfg.VictimCaching {
 			e.m.InstallLine(home, addr, protocol.Shared, v, now)
 		}
 	}
 	e.m.Counters.Inc("tree.teardowns_completed", 1)
-	waiters := e.homeQueue[addr]
-	delete(e.homeQueue, addr)
+	waiters := e.homeQueue[home][addr]
+	delete(e.homeQueue[home], addr)
 	e.m.Metrics.Event(now, metrics.EvTeardownComplete, int16(home), addr, int64(len(waiters)))
 	if len(waiters) == 0 {
 		return
@@ -425,7 +469,7 @@ func (e *Engine) teardownComplete(addr uint64) {
 	// has been waiting here, already routed); the rest serialize behind
 	// it on the pending marker.
 	first := waiters[0]
-	e.queued--
+	atomic.AddInt64(&e.queued, -1)
 	e.setPending(addr)
 	first.HomeServe = true
 	if e.m.Metrics != nil {
@@ -433,7 +477,7 @@ func (e *Engine) teardownComplete(addr uint64) {
 			e.m.Metrics.Event(now, metrics.EvHomeDrained, int16(home), addr, int64(w.Requester))
 		}
 	}
-	e.m.Kernel.Schedule(1, func() {
+	e.m.Defer(home, 1, func() {
 		if first.Type == protocol.WrReq {
 			e.grantWrite(home, first)
 		} else {
@@ -441,7 +485,7 @@ func (e *Engine) teardownComplete(addr uint64) {
 		}
 	})
 	for _, w := range waiters[1:] {
-		e.queued--
+		atomic.AddInt64(&e.queued, -1)
 		e.queueOnPending(addr, w)
 	}
 }

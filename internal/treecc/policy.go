@@ -2,6 +2,7 @@ package treecc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"innetcc/internal/metrics"
 	"innetcc/internal/network"
@@ -63,17 +64,37 @@ func (e *Engine) routeHop(r *network.Router, p *network.Packet, msg *protocol.Ms
 // the random backoff interval before reprocessing it (Section 2.1).
 func (e *Engine) consumeToBackoff(home int, msg *protocol.Msg) network.Steer {
 	cfg := e.m.Cfg
-	delay := e.m.Kernel.RNG().Int64Range(cfg.BackoffMin, cfg.BackoffMax)
+	now := e.m.Kernel.Now()
+	delay := backoffDelay(uint64(cfg.Seed), msg.Addr, msg.Requester, now, cfg.BackoffMin, cfg.BackoffMax)
 	msg.Backoff = false
 	msg.DeadlockCycles += delay
-	e.queued++
+	atomic.AddInt64(&e.queued, 1)
 	e.m.Counters.Inc("tree.backoffs", 1)
-	e.m.Metrics.Event(e.m.Kernel.Now(), metrics.EvBackoff, int16(home), msg.Addr, delay)
-	e.m.Kernel.Schedule(delay, func() {
-		e.queued--
+	e.m.Metrics.Event(now, metrics.EvBackoff, int16(home), msg.Addr, delay)
+	e.m.Defer(home, delay, func() {
+		atomic.AddInt64(&e.queued, -1)
 		e.m.Mesh.Spawn(home, e.packet(home, msg), e.m.Kernel.Now())
 	})
 	return network.Steer{Consume: true}
+}
+
+// backoffDelay draws the deadlock-recovery backoff as a pure splitmix64-style
+// hash of (seed, addr, requester, cycle), the same stateless scheme the
+// fault layer's schedules use. Backoffs are drawn inside the sharded route
+// phase, where consuming a shared RNG stream would make the draw order —
+// and with it every downstream value — depend on shard interleaving; a
+// site-keyed hash is identical at every shard count by construction.
+func backoffDelay(seed, addr uint64, requester int, now, lo, hi int64) int64 {
+	x := seed ^ addr*0x9e3779b97f4a7c15 ^ uint64(requester)<<40 ^ uint64(now)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if hi <= lo {
+		return lo
+	}
+	return lo + int64(x%uint64(hi-lo+1))
 }
 
 // routeReadReq implements Table 1's RD_REQ kernel.
@@ -112,7 +133,7 @@ func (e *Engine) routeReadReq(r *network.Router, p *network.Packet, msg *protoco
 		// from proactive eviction.
 	}
 	if n == home {
-		if _, pend := e.pending[addr]; pend {
+		if _, pend := e.pending[n][addr]; pend {
 			e.queueOnPending(addr, msg)
 			return network.Steer{Consume: true}
 		}
@@ -156,7 +177,7 @@ func (e *Engine) routeWriteReq(r *network.Router, p *network.Packet, msg *protoc
 		}
 	}
 	if n == home {
-		if _, pend := e.pending[addr]; pend {
+		if _, pend := e.pending[n][addr]; pend {
 			e.queueOnPending(addr, msg)
 			return network.Steer{Consume: true}
 		}
@@ -249,7 +270,7 @@ func (e *Engine) routeReply(r *network.Router, p *network.Packet, msg *protocol.
 			if msg.BuiltLast && p.ArrivalDir != network.Local && !line.Links[p.ArrivalDir] {
 				ul := &protocol.Msg{Type: protocol.TdAck, Addr: addr,
 					ForcedDir: uint8(p.ArrivalDir), Unlink: true}
-				spawns = append(spawns, e.hopPacket(ul))
+				spawns = append(spawns, e.hopPacket(n, ul))
 				e.m.Counters.Inc("tree.reentries", 1)
 			}
 			if e.m.Cfg.Replication && !line.LocalValid && msg.Type == protocol.RdReply {
@@ -285,7 +306,7 @@ func (e *Engine) routeReply(r *network.Router, p *network.Packet, msg *protocol.
 		line.RootDir = out
 		line.IsRoot = false
 		line.OutstandingReq = false
-		line.Gen = e.nextGen()
+		line.Gen = e.nextGen(n)
 		msg.BuiltLast = true
 		if freshAtHome {
 			e.releasePending(addr, n)
@@ -311,7 +332,7 @@ func (e *Engine) routeReply(r *network.Router, p *network.Packet, msg *protocol.
 			} else {
 				nl.RootDir = p.ArrivalDir
 			}
-			nl.Gen = e.nextGen()
+			nl.Gen = e.nextGen(n)
 			if e.m.Cfg.Replication && msg.Type == protocol.RdReply {
 				e.replicate(n, addr, msg.Version, nl.Gen)
 			}
@@ -378,7 +399,7 @@ func (e *Engine) replyAtRequester(r *network.Router, p *network.Packet, msg *pro
 		// completion window will not carry it.
 		line.OutstandingReq = true
 		if msg.RequesterIsRoot {
-			line.Gen = e.nextGen()
+			line.Gen = e.nextGen(n)
 		}
 		// A grafting reply reaching a requester that is already part
 		// of the tree adds no link: if the last hop followed a tree
@@ -388,7 +409,7 @@ func (e *Engine) replyAtRequester(r *network.Router, p *network.Packet, msg *pro
 		if !msg.RequesterIsRoot && msg.BuiltLast && p.ArrivalDir != network.Local && !line.Links[p.ArrivalDir] {
 			ul := &protocol.Msg{Type: protocol.TdAck, Addr: addr,
 				ForcedDir: uint8(p.ArrivalDir), Unlink: true}
-			spawns = append(spawns, e.hopPacket(ul))
+			spawns = append(spawns, e.hopPacket(n, ul))
 			e.m.Counters.Inc("tree.reentries", 1)
 		}
 		if freshAtHome {
@@ -411,7 +432,7 @@ func (e *Engine) replyAtRequester(r *network.Router, p *network.Packet, msg *pro
 				nl.RootDir = p.ArrivalDir
 			}
 			nl.OutstandingReq = true
-			nl.Gen = e.nextGen()
+			nl.Gen = e.nextGen(n)
 			if freshAtHome {
 				e.releasePending(addr, n)
 			}
@@ -468,7 +489,7 @@ func (e *Engine) abortReply(n int, p *network.Packet, msg *protocol.Msg, now int
 		td := &protocol.Msg{Type: protocol.Teardown, Addr: msg.Addr,
 			ForcedDir: uint8(p.ArrivalDir), ClearArrival: true}
 		spawns = append(spawns, &network.Packet{
-			ID: e.m.Mesh.NextID(), Flits: e.m.Cfg.CtrlFlits, Payload: td, Expedited: true,
+			ID: e.m.Mesh.NextIDFor(n), Flits: e.m.Cfg.CtrlFlits, Payload: td, Expedited: true,
 		})
 	}
 	t := protocol.RdReq
@@ -479,7 +500,7 @@ func (e *Engine) abortReply(n int, p *network.Packet, msg *protocol.Msg, now int
 		IssuedAt: msg.IssuedAt, Backoff: true,
 		DeadlockCycles: msg.DeadlockCycles + e.m.Cfg.TimeoutCycles,
 		Attempt:        msg.Attempt}
-	reqPkt := &network.Packet{ID: e.m.Mesh.NextID(), Flits: e.m.Cfg.CtrlFlits,
+	reqPkt := &network.Packet{ID: e.m.Mesh.NextIDFor(n), Flits: e.m.Cfg.CtrlFlits,
 		Payload: req, Retryable: true}
 	spawns = append(spawns, reqPkt)
 	return network.Steer{Consume: true, Spawn: spawns}

@@ -28,13 +28,16 @@ import (
 // edge, erasing the sender's dangling bit while its line is still live, so
 // teardown accounting always runs over a clean tree.
 
-func (e *Engine) hopMsg(t protocol.MsgType, addr uint64, out network.Dir) *network.Packet {
-	return e.hopPacket(&protocol.Msg{Type: t, Addr: addr, ForcedDir: uint8(out)})
+func (e *Engine) hopMsg(node int, t protocol.MsgType, addr uint64, out network.Dir) *network.Packet {
+	return e.hopPacket(node, &protocol.Msg{Type: t, Addr: addr, ForcedDir: uint8(out)})
 }
 
-func (e *Engine) hopPacket(msg *protocol.Msg) *network.Packet {
+// hopPacket builds a hop-scoped packet spawning at node; ids come from the
+// node's router-local sequence so route-phase construction needs no shared
+// counter.
+func (e *Engine) hopPacket(node int, msg *protocol.Msg) *network.Packet {
 	return &network.Packet{
-		ID:        e.m.Mesh.NextID(),
+		ID:        e.m.Mesh.NextIDFor(node),
 		Flits:     e.m.Cfg.CtrlFlits,
 		Payload:   msg,
 		Expedited: true,
@@ -78,13 +81,13 @@ func (e *Engine) processTeardown(node int, addr uint64, arrival network.Dir, cle
 		dl, had := e.m.InvalidateLine(node, addr, e.m.Kernel.Now())
 		line.LocalValid = false
 		if had && line.IsRoot {
-			e.rootData[addr] = dl.Version
+			e.setRootData(addr, dl.Version)
 		}
 	}
 	var spawns []*network.Packet
 	for d := 0; d < network.NumMeshDirs; d++ {
 		if line.Links[d] && network.Dir(d) != arrival {
-			spawns = append(spawns, e.hopMsg(protocol.Teardown, addr, network.Dir(d)))
+			spawns = append(spawns, e.hopMsg(node, protocol.Teardown, addr, network.Dir(d)))
 		}
 	}
 	if line.OutstandingReq {
@@ -107,7 +110,7 @@ func (e *Engine) processTeardown(node int, addr uint64, arrival network.Dir, cle
 		// Leaf (the paper's rule), or a single-link initiator whose
 		// chasing ack follows the teardown on the same FIFO link.
 		d := line.OnlyLink()
-		spawns = append(spawns, e.hopMsg(protocol.TdAck, addr, d))
+		spawns = append(spawns, e.hopMsg(node, protocol.TdAck, addr, d))
 		line.Links[d] = false
 		e.trees[node].Invalidate(addr)
 	}
@@ -175,7 +178,7 @@ func (e *Engine) collapse(node int, addr uint64, line *TreeLine) []*network.Pack
 		d := line.OnlyLink()
 		line.Links[d] = false
 		e.trees[node].Invalidate(addr)
-		return []*network.Packet{e.hopMsg(protocol.TdAck, addr, d)}
+		return []*network.Packet{e.hopMsg(node, protocol.TdAck, addr, d)}
 	}
 	return nil
 }

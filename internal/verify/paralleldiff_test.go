@@ -1,0 +1,144 @@
+package verify_test
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"innetcc/internal/fault"
+	"innetcc/internal/protocol"
+	"innetcc/internal/stats"
+	"innetcc/internal/trace"
+	"innetcc/internal/verify"
+
+	_ "innetcc/internal/directory"
+	_ "innetcc/internal/treecc"
+)
+
+// runSharded runs one engine over one profile with the given shard count,
+// optionally under a seeded drop-fault plan with retry recovery armed, and
+// returns the machine for exact result comparison.
+func runSharded(t *testing.T, kind protocol.EngineKind, p trace.Profile, shards int, faulty bool) *protocol.Machine {
+	t.Helper()
+	const accesses, seed = 100, 42
+	cfg := protocol.DefaultConfig()
+	cfg.Seed = seed
+	spec := protocol.Spec{
+		Think:  p.Think,
+		Engine: kind,
+		Shards: shards,
+	}
+	if faulty {
+		fs, err := fault.ParseSpec("drop=2500,timeout=200000,retries=6,backoff=64,probe=2000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.RetryTimeout = fs.Timeout
+		cfg.RetryBudget = fs.Budget
+		cfg.RetryBackoff = fs.Backoff
+		cfg.ProbeInterval = fs.Probe
+		spec.Faults = &fault.Plan{Spec: fs, Seed: seed + uint64(kind)}
+	}
+	spec.Config = cfg
+	spec.Trace = trace.Generate(p, cfg.Nodes(), accesses, seed)
+	m, err := protocol.Build(spec)
+	if err != nil {
+		t.Fatalf("%s/%s shards=%d: Build: %v", kind, p.Name, shards, err)
+	}
+	m.ReadSamples = &stats.Sampler{}
+	m.WriteSamples = &stats.Sampler{}
+	if err := m.Run(40_000_000); err != nil {
+		t.Fatalf("%s/%s shards=%d: run: %v", kind, p.Name, shards, err)
+	}
+	if v := m.Check.Violations(); len(v) > 0 {
+		t.Fatalf("%s/%s shards=%d: runtime violations: %v", kind, p.Name, shards, v)
+	}
+	return m
+}
+
+// requireIdentical asserts that a sharded run reproduced the serial run's
+// results exactly: same quiescence cycle, same per-access latency sequences,
+// same counters, same coherence end state.
+func requireIdentical(t *testing.T, label string, serial, sharded *protocol.Machine) {
+	t.Helper()
+	if a, e := sharded.Kernel.Now(), serial.Kernel.Now(); a != e {
+		t.Errorf("%s: quiescence cycle diverged: sharded %d, serial %d", label, a, e)
+	}
+	if !reflect.DeepEqual(sharded.Lat, serial.Lat) {
+		t.Errorf("%s: latency accumulators diverged:\n sharded: %+v\n serial: %+v",
+			label, sharded.Lat, serial.Lat)
+	}
+	if !reflect.DeepEqual(sharded.ReadSamples, serial.ReadSamples) {
+		t.Errorf("%s: read latency distributions diverged", label)
+	}
+	if !reflect.DeepEqual(sharded.WriteSamples, serial.WriteSamples) {
+		t.Errorf("%s: write latency distributions diverged", label)
+	}
+	if a, e := sharded.LocalHits, serial.LocalHits; a != e {
+		t.Errorf("%s: local hits diverged: %d vs %d", label, a, e)
+	}
+	if !reflect.DeepEqual(sharded.HomeCounts, serial.HomeCounts) {
+		t.Errorf("%s: home-node access counts diverged", label)
+	}
+	for _, n := range serial.Counters.Names() {
+		if a, e := sharded.Counters.Get(n), serial.Counters.Get(n); a != e {
+			t.Errorf("%s: counter %s diverged: %d vs %d", label, n, a, e)
+		}
+	}
+	ss, es := sharded.EndState(label+"/sharded"), serial.EndState(label+"/serial")
+	for _, d := range verify.Equivalent(ss, es) {
+		t.Error(d)
+	}
+	if a, e := len(ss.Copies), len(es.Copies); a != e {
+		t.Errorf("%s: copy-set sizes diverged: %d vs %d", label, a, e)
+	}
+}
+
+// shardVariants returns the non-serial shard counts to test: 2 (the minimal
+// parallel split), 4 (an interior split), and the host's CPU count,
+// deduplicated.
+func shardVariants() []int {
+	variants := []int{2, 4, runtime.NumCPU()}
+	seen := map[int]bool{1: true}
+	var out []int
+	for _, s := range variants {
+		if s > 1 && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestParallelByteIdenticalToSerial is the sharded-engine equivalence
+// proof: for every trace profile and both coherence engines, with and
+// without an injected drop-fault plan, a simulation split across N worker
+// shards must produce results byte-identical to the serial run. Cross-shard
+// effects are staged in per-shard queues and applied in shard order at the
+// cycle barrier, so any divergence here is a shard hand-off or ordering bug.
+func TestParallelByteIdenticalToSerial(t *testing.T) {
+	variants := shardVariants()
+	for _, kind := range protocol.EngineKinds() {
+		for _, p := range trace.Benchmarks() {
+			for _, faulty := range []bool{false, true} {
+				kind, p, faulty := kind, p, faulty
+				mode := "clean"
+				if faulty {
+					mode = "drops"
+				}
+				t.Run(fmt.Sprintf("%s/%s/%s", kind, p.Name, mode), func(t *testing.T) {
+					t.Parallel()
+					serial := runSharded(t, kind, p, 1, faulty)
+					if serial.Lat.Read.N+serial.Lat.Write.N == 0 {
+						t.Fatal("serial run completed no accesses; differential is vacuous")
+					}
+					for _, s := range variants {
+						sharded := runSharded(t, kind, p, s, faulty)
+						requireIdentical(t, fmt.Sprintf("%s/%s/%s/shards=%d", kind, p.Name, mode, s), serial, sharded)
+					}
+				})
+			}
+		}
+	}
+}

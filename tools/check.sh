@@ -40,6 +40,39 @@ go run -race ./cmd/innetcc -exp fig5 -accesses 80 -jobs 4 \
 go run -race ./cmd/innetcc -exp fig5 -accesses 80 -jobs 4 -metrics \
     -metrics-out "$(mktemp -d)/metrics.csv" -flight-dump >/dev/null
 
+# Sharded-engine smoke under the race detector: a small mesh split across 2
+# worker shards must complete the fig5 rows with results identical to serial
+# (the differential test asserts identity; this exercises the full CLI path
+# with real goroutines under race).
+go run -race ./cmd/innetcc -exp fig5 -accesses 80 -jobs 2 -shards 2 >/dev/null
+
+# Parallel benchmark smoke: the 16x16 sharded-mesh series, recorded with the
+# host CPU count as BENCH_parallel.json so shard-engine regressions show up
+# in review diffs. One iteration by default (a smoke, not a measurement);
+# set PARALLEL_BENCHTIME (e.g. 5x) to refresh the committed numbers. On a
+# single-core host the parallel rows measure scheduling overhead, not
+# speedup — the recorded cpus field says which regime produced the numbers.
+: "${PARALLEL_BENCHTIME:=1x}"
+go test -run '^$' -bench 'ParallelMesh' -benchtime "$PARALLEL_BENCHTIME" . |
+    awk -v ncpu="$(nproc)" '
+        $1 ~ /^BenchmarkParallelMesh\// {
+            name = $1; sub(/-[0-9]+$/, "", name); sub(/^.*shards=/, "", name)
+            ns[name] = $3; cycles = $5; order[n++] = name
+        }
+        END {
+            if (n == 0) { print "bench output missing" > "/dev/stderr"; exit 1 }
+            printf "{\n"
+            printf "  \"benchmark\": \"ParallelMesh\",\n"
+            printf "  \"config\": \"16x16 mesh, tree engine, bar profile, 40 accesses/node\",\n"
+            printf "  \"host_cpus\": %d,\n", ncpu
+            printf "  \"sim_cycles\": %s,\n", cycles
+            for (i = 0; i < n; i++)
+                printf "  \"shards_%s_ns_per_op\": %s,\n", order[i], ns[order[i]]
+            printf "  \"speedup_4_shards\": %.2f\n", ns["1"] / ns["4"]
+            printf "}\n"
+        }' > BENCH_parallel.json
+cat BENCH_parallel.json
+
 # Kernel benchmark smoke: the active-set kernel against its always-tick
 # control on the 64-node low-injection mesh, recorded as BENCH_kernel.json
 # so regressions in the idle-skip machinery show up in review diffs. One
