@@ -24,6 +24,16 @@
 //	innetcc -exp fig5 -flight-dump   # + per-job protocol event ring
 //	innetcc -exp fig5 -faults drop=2000,retries=4 -watchdog 2000000 -retries 1
 //
+// Server mode (-serve) runs the persistent simulation-as-a-service layer
+// (internal/serve): an HTTP/JSON job API with a priority queue, per-tenant
+// quotas, streaming progress, and checkpoint/restore so interrupted jobs
+// resume after a restart. Client mode (-client) talks to it:
+//
+//	innetcc -serve :8080 -serve-data ./serve-data -tenants 'alice=2:16'
+//	innetcc -client http://localhost:8080 -submit -profile fft -engine tree \
+//	        -accesses 400 -tenant alice -watch yes
+//	innetcc -client http://localhost:8080 -stats
+//
 // -metrics attaches the cycle-level observability layer (internal/metrics)
 // to every simulation: per-router link utilization and queue occupancy,
 // tree-cache hit/miss/eviction counters, and a per-access latency breakdown
@@ -88,10 +98,42 @@ func main() {
 	shards := flag.Int("shards", 0, "worker shards per simulation (0/1 = serial); results are identical at any setting")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
+
+	var sf serveFlags
+	flag.StringVar(&sf.addr, "serve", "", "run the persistent job server on this listen address (e.g. :8080) instead of an experiment")
+	flag.StringVar(&sf.dataDir, "serve-data", defaultServeData(), "server persistence root (job records, checkpoints, result cache)")
+	flag.StringVar(&sf.tenants, "tenants", "", "per-tenant quotas, \"name=maxRunning[:maxQueued],...\" (unlisted tenants get the default quota)")
+	flag.IntVar(&sf.workers, "serve-workers", 0, "concurrent simulations in server mode (0 = 1)")
+	flag.Int64Var(&sf.ckptEvry, "ckpt-every", 5_000_000, "simulated cycles between job checkpoints in server mode (0 = only on drain)")
+	flag.StringVar(&sf.client, "client", "", "talk to a running job server at this URL instead of running an experiment")
+	flag.StringVar(&sf.tenant, "tenant", "", "client: tenant name for submissions")
+	flag.IntVar(&sf.priority, "priority", 0, "client: submission priority (higher runs first)")
+	flag.BoolVar(&sf.submit, "submit", false, "client: submit a job (-profile, -engine, -accesses; add -watch to stream it)")
+	flag.StringVar(&sf.profile, "profile", "fft", "client: trace profile name for -submit")
+	flag.StringVar(&sf.engine, "engine", "tree", "client: coherence engine for -submit (dir|tree)")
+	flag.StringVar(&sf.watch, "watch", "", "client: stream a job's progress to completion (with -submit: any non-empty value watches the new job)")
+	flag.StringVar(&sf.status, "status", "", "client: print one job's record")
+	flag.StringVar(&sf.result, "result", "", "client: print a finished job's result")
+	flag.StringVar(&sf.cancel, "cancel", "", "client: cancel a queued or running job")
+	flag.BoolVar(&sf.stats, "stats", false, "client: print server queue/tenant/cache statistics")
 	flag.Parse()
 
 	if *list {
 		printList(os.Stdout)
+		return
+	}
+	if sf.addr != "" {
+		if err := runServe(os.Stdout, sf); err != nil {
+			fmt.Fprintln(os.Stderr, "innetcc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if sf.client != "" {
+		if err := runClient(os.Stdout, sf, *accesses, *seed, *faults, *retries, *shards, *metricsOn); err != nil {
+			fmt.Fprintln(os.Stderr, "innetcc:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *cpuProfile != "" {

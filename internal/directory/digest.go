@@ -1,0 +1,55 @@
+package directory
+
+import (
+	"sort"
+
+	"innetcc/internal/protocol"
+	"innetcc/internal/sim"
+)
+
+// DigestState implements protocol.StateDigester: it folds every home node's
+// directory cache contents, pending-invalidation marks and parked request
+// queues into the machine state digest. Maps are folded in sorted key order
+// so the digest is independent of Go's map iteration order.
+func (e *Engine) DigestState(d *sim.Digest) {
+	d.Int(e.queued)
+	for node, dir := range e.dirs {
+		d.Int(dir.Len())
+		dir.ScanAll(func(addr uint64, en *dirEntry) bool {
+			d.U64(addr)
+			d.U64(en.sharers)
+			d.Int(en.owner)
+			d.Bool(en.modified)
+			d.Bool(en.busy)
+			d.Bool(en.evicting)
+			d.Int(en.pendingAcks)
+			d.Bool(en.pendingWr != nil)
+			if en.pendingWr != nil {
+				protocol.DigestMsg(d, en.pendingWr)
+			}
+			d.Int(len(en.queue))
+			for _, msg := range en.queue {
+				protocol.DigestMsg(d, msg)
+			}
+			return true
+		})
+
+		pi := e.pendingInval[node]
+		addrs := make([]uint64, 0, len(pi))
+		for a, on := range pi {
+			if on {
+				addrs = append(addrs, a)
+			}
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		d.Int(len(addrs))
+		for _, a := range addrs {
+			d.U64(a)
+		}
+
+		d.Int(len(e.parked[node]))
+		for _, msg := range e.parked[node] {
+			protocol.DigestMsg(d, msg)
+		}
+	}
+}

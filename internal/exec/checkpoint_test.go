@@ -1,0 +1,323 @@
+package exec
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"innetcc/internal/protocol"
+	"innetcc/internal/trace"
+)
+
+// resultBytes canonicalizes a Result for byte-identity comparison (Key and
+// Cached are presentation-only and excluded by their json tags).
+func resultBytes(t *testing.T, r Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return b
+}
+
+// TestCheckpointRestoreByteIdentical is the checkpoint differential of the
+// acceptance criteria: for every trace profile and both engines, run to a
+// mid-run cycle C, snapshot, restore from the snapshot in a fresh runner,
+// run to completion — and require the result to be byte-identical to an
+// uninterrupted run of the same spec.
+func TestCheckpointRestoreByteIdentical(t *testing.T) {
+	for _, p := range trace.Benchmarks() {
+		for _, kind := range []protocol.EngineKind{protocol.KindDirectory, protocol.KindTree} {
+			p, kind := p, kind
+			t.Run(p.Name+"/"+kind.String(), func(t *testing.T) {
+				t.Parallel()
+				job := testJob(p.Name, kind, 40)
+				straight := RunJob(job, RunOptions{})
+				if straight.Failed() {
+					t.Fatalf("uninterrupted run failed: %s", straight.Err)
+				}
+
+				// Tiny segments force many pause points; keep the last
+				// snapshot taken before the run finished.
+				var snap *Snapshot
+				segmented := RunJob(job, RunOptions{
+					SegmentCycles:   256,
+					CheckpointEvery: 1024,
+					Checkpoint:      func(s Snapshot) { snap = &s },
+				})
+				if !reflect.DeepEqual(resultBytes(t, straight), resultBytes(t, segmented)) {
+					t.Fatalf("segmented run diverged from uninterrupted run")
+				}
+				if snap == nil {
+					t.Fatalf("no checkpoint was taken (run finished before %d cycles?)", 1024)
+				}
+				if snap.Cycle <= 0 || snap.Cycle >= straight.Cycles {
+					t.Fatalf("snapshot at cycle %d outside run (0, %d)", snap.Cycle, straight.Cycles)
+				}
+
+				// Round-trip the snapshot through its binary encoding, as a
+				// restart would.
+				path := filepath.Join(t.TempDir(), "job.ckpt")
+				if err := WriteSnapshot(path, *snap); err != nil {
+					t.Fatalf("write snapshot: %v", err)
+				}
+				loaded, err := ReadSnapshot(path)
+				if err != nil {
+					t.Fatalf("read snapshot: %v", err)
+				}
+				restored := RunJob(job, RunOptions{Resume: &loaded})
+				if !reflect.DeepEqual(resultBytes(t, straight), resultBytes(t, restored)) {
+					t.Fatalf("restored run diverged from uninterrupted run\n straight: %s\n restored: %s",
+						resultBytes(t, straight), resultBytes(t, restored))
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointRestoreUnderFaultPlan repeats the restore differential with
+// an armed fault plan and retry budget: dropped packets, protocol retries
+// and the transient-retry attempt counter must all replay identically
+// through a snapshot boundary.
+func TestCheckpointRestoreUnderFaultPlan(t *testing.T) {
+	job := testJob("fft", protocol.KindTree, 60)
+	job.Faults = "drop=3000,timeout=200000,retries=6,backoff=64"
+	job.Retries = 2
+
+	straight := RunJob(job, RunOptions{})
+	if straight.Failed() {
+		t.Fatalf("uninterrupted faulty run failed: %s", straight.Err)
+	}
+	var snap *Snapshot
+	RunJob(job, RunOptions{
+		SegmentCycles:   256,
+		CheckpointEvery: 2048,
+		Checkpoint:      func(s Snapshot) { snap = &s },
+	})
+	if snap == nil {
+		t.Fatalf("no checkpoint taken")
+	}
+	restored := RunJob(job, RunOptions{Resume: snap})
+	if !reflect.DeepEqual(resultBytes(t, straight), resultBytes(t, restored)) {
+		t.Fatalf("faulty restored run diverged\n straight: %s\n restored: %s",
+			resultBytes(t, straight), resultBytes(t, restored))
+	}
+	if restored.Attempts != straight.Attempts {
+		t.Fatalf("attempts diverged: %d vs %d", restored.Attempts, straight.Attempts)
+	}
+}
+
+// TestSnapshotRejectsCorruption exercises the snapshot file format's
+// self-checks: truncation and bit flips must surface as ErrBadSnapshot, and
+// a resume from a snapshot of a different spec must be ignored (fresh run)
+// rather than trusted.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	snap := Snapshot{Cycle: 12345, Attempt: 1, Digest: 0xdeadbeef, Job: testJob("lu", protocol.KindDirectory, 40)}
+	b, err := snap.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatalf("decode round-trip: %v", err)
+	}
+	if back.Cycle != snap.Cycle || back.Attempt != snap.Attempt || back.Digest != snap.Digest ||
+		back.Job.Hash() != snap.Job.Hash() {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, snap)
+	}
+
+	for name, mut := range map[string]func([]byte) []byte{
+		"truncated":  func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":      func(b []byte) []byte { return nil },
+		"bit-flip":   func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)/2] ^= 1; return c },
+		"bad-magic":  func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c },
+		"short-tail": func(b []byte) []byte { return b[:len(b)-3] },
+	} {
+		if _, err := DecodeSnapshot(mut(b)); err == nil {
+			t.Errorf("%s snapshot decoded without error", name)
+		}
+	}
+}
+
+// TestResumeIgnoresForeignSnapshot: a snapshot whose job spec hashes
+// differently must not influence the run.
+func TestResumeIgnoresForeignSnapshot(t *testing.T) {
+	job := testJob("bar", protocol.KindDirectory, 40)
+	foreign := testJob("fft", protocol.KindTree, 40)
+	var snap *Snapshot
+	RunJob(foreign, RunOptions{SegmentCycles: 256, CheckpointEvery: 1024,
+		Checkpoint: func(s Snapshot) { snap = &s }})
+	if snap == nil {
+		t.Fatalf("no checkpoint taken for foreign job")
+	}
+	straight := RunJob(job, RunOptions{})
+	crossed := RunJob(job, RunOptions{Resume: snap})
+	if !reflect.DeepEqual(resultBytes(t, straight), resultBytes(t, crossed)) {
+		t.Fatalf("foreign snapshot changed the result")
+	}
+}
+
+// TestResumeRecoversFromDigestMismatch: a snapshot with a wrong digest (as
+// after simulation-semantics drift between binaries) must fall back to a
+// fresh, correct run instead of continuing from unverified state.
+func TestResumeRecoversFromDigestMismatch(t *testing.T) {
+	job := testJob("rad", protocol.KindTree, 40)
+	var snap *Snapshot
+	RunJob(job, RunOptions{SegmentCycles: 256, CheckpointEvery: 1024,
+		Checkpoint: func(s Snapshot) { snap = &s }})
+	if snap == nil {
+		t.Fatalf("no checkpoint taken")
+	}
+	snap.Digest ^= 0x1 // simulate drift
+	straight := RunJob(job, RunOptions{})
+	recovered := RunJob(job, RunOptions{Resume: snap})
+	if !reflect.DeepEqual(resultBytes(t, straight), resultBytes(t, recovered)) {
+		t.Fatalf("digest-mismatch fallback produced a different result")
+	}
+}
+
+// TestRunJobCancellationStopsPromptly: a canceled context stops the
+// simulation at the next segment boundary, marks the result canceled, and
+// writes a final checkpoint for later resumption.
+func TestRunJobCancellationStopsPromptly(t *testing.T) {
+	job := testJob("ocn", protocol.KindDirectory, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	var final *Snapshot
+	segments := 0
+	res := RunJob(job, RunOptions{
+		Ctx:           ctx,
+		SegmentCycles: 256,
+		Progress: func(Progress) {
+			if segments++; segments == 3 {
+				cancel()
+			}
+		},
+		CheckpointEvery: 1 << 40, // periodic never fires; only the cancel checkpoint
+		Checkpoint:      func(s Snapshot) { final = &s },
+	})
+	if !res.Canceled {
+		t.Fatalf("result not marked canceled: %+v", res)
+	}
+	if !res.Failed() {
+		t.Fatalf("canceled result should carry an error")
+	}
+	if final == nil {
+		t.Fatalf("no final checkpoint on cancel")
+	}
+
+	// The cancel-time checkpoint resumes to the full, correct result.
+	straight := RunJob(job, RunOptions{})
+	resumed := RunJob(job, RunOptions{Resume: final})
+	if !reflect.DeepEqual(resultBytes(t, straight), resultBytes(t, resumed)) {
+		t.Fatalf("resume from cancel checkpoint diverged")
+	}
+}
+
+// TestCacheTreatsTruncatedEntryAsMiss is the corrupt-cache regression test:
+// a deliberately truncated result file must read as a miss and be repaired
+// by the next Put, never poison callers.
+func TestCacheTreatsTruncatedEntryAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatalf("open cache: %v", err)
+	}
+	job := testJob("wns", protocol.KindDirectory, 40)
+	hash := job.Hash()
+
+	pool := &Pool{Workers: 1, Cache: cache}
+	first := pool.Run([]Job{job})[0]
+	if first.Failed() || first.Cached {
+		t.Fatalf("priming run: %+v", first)
+	}
+
+	// Truncate the stored entry mid-file.
+	matches, err := filepath.Glob(filepath.Join(dir, "*"+hash[:16]+"*"))
+	if err != nil || len(matches) == 0 {
+		// Entry layout may nest or rename; find any regular file instead.
+		matches = nil
+		filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+			if err == nil && info.Mode().IsRegular() {
+				matches = append(matches, p)
+			}
+			return nil
+		})
+	}
+	if len(matches) == 0 {
+		t.Fatalf("no cache entry file found under %s", dir)
+	}
+	for _, m := range matches {
+		b, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatalf("read entry: %v", err)
+		}
+		if err := os.WriteFile(m, b[:len(b)/3], 0o644); err != nil {
+			t.Fatalf("truncate entry: %v", err)
+		}
+	}
+
+	if _, ok := cache.Get(hash); ok {
+		t.Fatalf("truncated entry served as a hit")
+	}
+	again := pool.Run([]Job{job})[0]
+	if again.Failed() {
+		t.Fatalf("re-run after truncation failed: %s", again.Err)
+	}
+	if again.Cached {
+		t.Fatalf("truncated entry was served from cache")
+	}
+	if !reflect.DeepEqual(resultBytes(t, first), resultBytes(t, again)) {
+		t.Fatalf("post-truncation re-run differs from original")
+	}
+	// And the re-run repaired the entry.
+	if _, ok := cache.Get(hash); !ok {
+		t.Fatalf("cache not repaired after re-run")
+	}
+}
+
+// TestConcurrentIdenticalJobsSimulateOnce: many goroutines submitting the
+// same spec concurrently must trigger exactly one simulation, and every
+// caller must receive a byte-identical result.
+func TestConcurrentIdenticalJobsSimulateOnce(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("open cache: %v", err)
+	}
+	pool := &Pool{Workers: 8, Cache: cache}
+	job := testJob("ray", protocol.KindTree, 60)
+
+	const callers = 16
+	results := make([]Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j := job
+			j.Key = fmt.Sprintf("caller/%d", i)
+			results[i] = pool.Run([]Job{j})[0]
+		}(i)
+	}
+	wg.Wait()
+
+	if n := pool.Simulations(); n != 1 {
+		t.Fatalf("expected exactly 1 simulation, got %d", n)
+	}
+	want := resultBytes(t, results[0])
+	for i, r := range results {
+		if r.Failed() {
+			t.Fatalf("caller %d failed: %s", i, r.Err)
+		}
+		if r.Key != fmt.Sprintf("caller/%d", i) {
+			t.Fatalf("caller %d got key %q", i, r.Key)
+		}
+		if got := resultBytes(t, r); !reflect.DeepEqual(want, got) {
+			t.Fatalf("caller %d result differs:\n want %s\n got  %s", i, want, got)
+		}
+	}
+}

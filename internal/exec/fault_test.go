@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func faultJob(spec string, retries int) Job {
 
 func TestFaultyJobCompletesWithRecovery(t *testing.T) {
 	j := faultJob("drop=3000,timeout=200000,retries=6,backoff=64", 0)
-	res := (&Pool{}).runOne(j)
+	res := (&Pool{}).runOne(context.Background(), j)
 	if res.Failed() {
 		t.Fatalf("drop-plan job failed: %s", res.Err)
 	}
@@ -35,7 +36,7 @@ func TestTransientFailureClassifiedAndRetried(t *testing.T) {
 	// fast with RetryExhaustedError, which must classify transient and be
 	// re-run with derived sub-seeds until the job-level budget is spent.
 	j := faultJob("drop=1000000,timeout=1000,retries=0,backoff=16", 2)
-	res := (&Pool{}).runOne(j)
+	res := (&Pool{}).runOne(context.Background(), j)
 	if !res.Failed() {
 		t.Fatal("all-drop job succeeded")
 	}
@@ -54,7 +55,7 @@ func TestDeterministicFailureNotRetried(t *testing.T) {
 	j := testJob("fft", protocol.KindTree, 60)
 	j.Config.TreeEntries = 0 // rejected by Config.Validate on every attempt
 	j.Retries = 3
-	res := (&Pool{}).runOne(j)
+	res := (&Pool{}).runOne(context.Background(), j)
 	if !res.Failed() {
 		t.Fatal("invalid config job succeeded")
 	}
@@ -67,7 +68,7 @@ func TestDeterministicFailureNotRetried(t *testing.T) {
 }
 
 func TestBadFaultSpecFailsJob(t *testing.T) {
-	res := (&Pool{}).runOne(faultJob("drop=banana", 0))
+	res := (&Pool{}).runOne(context.Background(), faultJob("drop=banana", 0))
 	if !res.Failed() || !strings.Contains(res.Err, "bad fault spec") {
 		t.Fatalf("Err = %q, want fault-spec parse error", res.Err)
 	}
@@ -95,8 +96,8 @@ func TestHashCoversFaultFields(t *testing.T) {
 // the job seed.
 func TestFaultRunsAreDeterministic(t *testing.T) {
 	j := faultJob("drop=3000,timeout=200000,retries=6,backoff=64", 1)
-	a := (&Pool{}).runOne(j)
-	b := (&Pool{}).runOne(j)
+	a := (&Pool{}).runOne(context.Background(), j)
+	b := (&Pool{}).runOne(context.Background(), j)
 	if a.Err != b.Err || a.Cycles != b.Cycles || a.Attempts != b.Attempts {
 		t.Fatalf("faulty runs diverged: %+v vs %+v", a, b)
 	}

@@ -238,9 +238,13 @@ type Result struct {
 	Transient bool `json:",omitempty"`
 
 	// Key mirrors the job's display label; Cached reports whether the
-	// result was served from the on-disk cache. Neither is persisted.
-	Key    string `json:"-"`
-	Cached bool   `json:"-"`
+	// result was served from the on-disk cache (or shared from a
+	// concurrent identical run). Canceled reports that the run was stopped
+	// by context cancellation before finishing — a canceled Result is
+	// partial and must never be cached. None of these are persisted.
+	Key      string `json:"-"`
+	Cached   bool   `json:"-"`
+	Canceled bool   `json:"-"`
 }
 
 // Failed reports whether the job failed.

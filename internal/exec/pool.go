@@ -1,24 +1,24 @@
 package exec
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sync"
-
-	"innetcc/internal/directory"
-	"innetcc/internal/fault"
-	"innetcc/internal/protocol"
-	"innetcc/internal/stats"
-	"innetcc/internal/trace"
+	"sync/atomic"
 
 	// Registers the tree engine's builder with protocol.Build. The
-	// directory package (imported above for the hop-study wiring) does the
-	// same for the baseline engine.
+	// directory package (imported by the runner for the hop-study wiring)
+	// does the same for the baseline engine.
 	_ "innetcc/internal/treecc"
 )
 
 // Pool runs batches of jobs across worker goroutines. The zero value is
 // usable: all cores, no cache.
+//
+// Concurrent submissions of the same spec (equal Job.Hash) are deduplicated
+// in-process: one worker simulates, everyone else waits and shares the
+// result. Combined with the on-disk cache this gives exactly-once
+// simulation per spec no matter how many callers race.
 type Pool struct {
 	// Workers is the parallelism level; <= 0 means GOMAXPROCS.
 	Workers int
@@ -26,7 +26,23 @@ type Pool struct {
 	// Cache, when non-nil, serves and stores results on disk keyed by
 	// Job.Hash.
 	Cache *Cache
+
+	flightMu sync.Mutex
+	flights  map[string]*flightCall
+
+	sims atomic.Int64
 }
+
+// flightCall is one in-progress simulation shared by concurrent submitters
+// of the same job hash.
+type flightCall struct {
+	done chan struct{}
+	res  Result
+}
+
+// Simulations reports how many jobs this pool actually simulated (cache
+// hits and deduplicated followers excluded).
+func (p *Pool) Simulations() int64 { return p.sims.Load() }
 
 // Run executes all jobs and returns their results in submission order.
 // Each job is isolated: a simulation error, an exceeded cycle bound, or a
@@ -39,6 +55,14 @@ type Pool struct {
 // the largest per-job shard count so batch parallelism and intra-simulation
 // sharding together use roughly GOMAXPROCS cores instead of oversubscribing.
 func (p *Pool) Run(jobs []Job) []Result {
+	return p.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled, in-flight
+// simulations stop at the next segment boundary and come back with
+// Canceled set (never cached), and queued jobs are returned canceled
+// without simulating at all.
+func (p *Pool) RunContext(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	workers := p.Workers
 	if workers <= 0 {
@@ -58,7 +82,7 @@ func (p *Pool) Run(jobs []Job) []Result {
 	}
 	if workers <= 1 {
 		for i, j := range jobs {
-			results[i] = p.runOne(j)
+			results[i] = p.runOne(ctx, j)
 		}
 		return results
 	}
@@ -69,7 +93,7 @@ func (p *Pool) Run(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = p.runOne(jobs[i])
+				results[i] = p.runOne(ctx, jobs[i])
 			}
 		}()
 	}
@@ -81,141 +105,47 @@ func (p *Pool) Run(jobs []Job) []Result {
 	return results
 }
 
-// runOne executes a single job: cache lookup, simulation behind a panic
-// barrier (with transient-failure retries), cache fill.
-func (p *Pool) runOne(job Job) (res Result) {
-	var hash string
+// runOne executes a single job: cache lookup, in-process deduplication,
+// simulation via the segmented runner, cache fill.
+func (p *Pool) runOne(ctx context.Context, job Job) Result {
+	if err := ctx.Err(); err != nil {
+		return Result{Err: "exec: canceled: " + err.Error(), Canceled: true, Key: job.Key}
+	}
+	hash := job.Hash()
 	if p.Cache != nil {
-		hash = job.Hash()
 		if r, ok := p.Cache.Get(hash); ok {
 			r.Key = job.Key
 			r.Cached = true
 			return r
 		}
 	}
-	// Transient failures — a tripped hang watchdog or an exhausted
-	// protocol retry budget — are re-run with a derived sub-seed up to
-	// job.Retries times. Each attempt is itself fully deterministic, so
-	// the whole sequence (and the attempt count recorded in the result)
-	// replays identically; deterministic failures surface immediately.
-	for attempt := 0; ; attempt++ {
-		res = simulate(job, attempt)
-		res.Attempts = attempt + 1
-		if !res.Failed() || !res.Transient || attempt >= job.Retries {
-			break
-		}
+
+	p.flightMu.Lock()
+	if p.flights == nil {
+		p.flights = make(map[string]*flightCall)
 	}
-	res.Key = job.Key
-	if p.Cache != nil {
+	if fc, ok := p.flights[hash]; ok {
+		p.flightMu.Unlock()
+		<-fc.done
+		res := fc.res
+		res.Key = job.Key
+		res.Cached = true
+		return res
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	p.flights[hash] = fc
+	p.flightMu.Unlock()
+
+	p.sims.Add(1)
+	res := RunJob(job, RunOptions{Ctx: ctx})
+	if p.Cache != nil && !res.Canceled && !res.Cached {
 		p.Cache.Put(hash, res)
 	}
+
+	fc.res = res
+	p.flightMu.Lock()
+	delete(p.flights, hash)
+	p.flightMu.Unlock()
+	close(fc.done)
 	return res
-}
-
-// simulate runs one attempt of the job's simulation to quiescence. Panics
-// anywhere in the protocol or network stack are recovered into the job's
-// Result so one diverging configuration cannot take down the batch.
-// Attempt 0 uses the job seed; retry attempts derive a sub-seed from it, so
-// every attempt is reproducible in isolation.
-func simulate(job Job, attempt int) (res Result) {
-	col := collectorFor(job.Metrics)
-	defer func() {
-		if r := recover(); r != nil {
-			res = Result{Err: fmt.Sprintf("panic: %v", r), Metrics: metricsOut(col, true)}
-		}
-	}()
-
-	seed := job.Seed()
-	if attempt > 0 {
-		seed = DeriveSeed(seed, fmt.Sprintf("retry/%d", attempt))
-	}
-	cfg := job.Config
-	cfg.Seed = seed
-	var plan *fault.Plan
-	if job.Faults != "" {
-		fspec, err := fault.ParseSpec(job.Faults)
-		if err != nil {
-			return Result{Err: "exec: bad fault spec: " + err.Error()}
-		}
-		cfg.RetryTimeout = fspec.Timeout
-		cfg.RetryBudget = fspec.Budget
-		cfg.RetryBackoff = fspec.Backoff
-		cfg.ProbeInterval = fspec.Probe
-		plan = &fault.Plan{Spec: fspec, Seed: DeriveSeed(seed, "fault")}
-	}
-	m, err := protocol.Build(protocol.Spec{
-		Config:  cfg,
-		Trace:   trace.Generate(job.Profile, cfg.Nodes(), job.Accesses, seed),
-		Think:   job.Profile.Think,
-		Engine:  job.Engine,
-		Metrics: col,
-		Faults:  plan,
-		Shards:  job.Shards,
-	})
-	if err != nil {
-		return Result{Err: err.Error(), Metrics: metricsOut(col, true)}
-	}
-	m.ReadSamples = &stats.Sampler{}
-	m.WriteSamples = &stats.Sampler{}
-
-	var hops *HopAgg
-	if job.CollectHops {
-		e, ok := m.Engine().(*directory.Engine)
-		if !ok {
-			return Result{Err: fmt.Sprintf("exec: CollectHops requires the directory engine, got %s", job.Engine)}
-		}
-		hops = &HopAgg{}
-		e.HopRecorder = func(write bool, base, ideal int) {
-			if base == 0 {
-				return
-			}
-			if write {
-				hops.WriteBase += float64(base)
-				hops.WriteIdeal += float64(ideal)
-				hops.Writes++
-			} else {
-				hops.ReadBase += float64(base)
-				hops.ReadIdeal += float64(ideal)
-				hops.Reads++
-			}
-		}
-	}
-
-	if err := m.Run(job.maxCycles()); err != nil {
-		return Result{
-			Err:       fmt.Sprintf("%s %s: %v", job.Profile.Name, job.Engine, err),
-			Transient: fault.Transient(err),
-			Metrics:   metricsOut(col, true),
-		}
-	}
-
-	res = Result{
-		Cycles:        m.Kernel.Now(),
-		LocalHits:     m.LocalHits,
-		Read:          dist(&m.Lat.Read, m.ReadSamples),
-		Write:         dist(&m.Lat.Write, m.WriteSamples),
-		DeadlockRead:  dist(&m.Lat.DeadlockRead, nil),
-		DeadlockWrite: dist(&m.Lat.DeadlockWrite, nil),
-		Hops:          hops,
-		Metrics:       metricsOut(col, job.Metrics.FlightDump),
-	}
-	if names := m.Counters.Names(); len(names) > 0 {
-		res.Counters = make(map[string]int64, len(names))
-		for _, n := range names {
-			res.Counters[n] = m.Counters.Get(n)
-		}
-	}
-	return res
-}
-
-// dist folds an accumulator (and, when available, its sample set for
-// percentiles) into the serializable Dist form. Summarize extracts all
-// three percentiles off one sort of the sample vector.
-func dist(a *stats.Accumulator, s *stats.Sampler) Dist {
-	d := Dist{N: a.N, Sum: a.Sum, Min: a.MinV, Max: a.MaxV}
-	if s != nil && s.N() > 0 {
-		sum := s.Summarize()
-		d.P50, d.P95, d.P99 = sum.P50, sum.P95, sum.P99
-	}
-	return d
 }

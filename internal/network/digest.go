@@ -1,0 +1,46 @@
+package network
+
+import "innetcc/internal/sim"
+
+// DigestState folds the mesh's live state into d for checkpoint
+// verification: global in-flight/delivery accounting, then every router's
+// FIFO contents in port/VC/queue order with each queued packet's header and
+// routing coordinates. Payloads are protocol messages owned by the engines
+// (which fold their own state); here a packet contributes the fields the
+// network itself steers by. Folding is observation-only: no FIFO is popped,
+// no LRU or metric moves.
+func (m *Mesh) DigestState(d *sim.Digest) {
+	d.Int(m.InFlight)
+	d.I64(m.DeliveredPackets)
+	d.I64(m.TotalHops)
+	for _, r := range m.Routers {
+		d.Int(r.queued)
+		d.U64(r.routeSeq)
+		d.U64(r.idSeq)
+		for out := 0; out < numOutPorts; out++ {
+			d.I64(r.busyTill[out])
+		}
+		for port := 0; port < numInPorts; port++ {
+			for vc := range r.in[port] {
+				q := &r.in[port][vc]
+				d.Int(q.n)
+				for i := 0; i < q.n; i++ {
+					e := &q.buf[(q.head+i)%len(q.buf)]
+					p := e.pkt
+					d.I64(e.readyAt)
+					d.U64(p.ID)
+					d.Int(p.Src)
+					d.Int(p.Dst)
+					d.Int(p.Flits)
+					d.Int(p.Hops)
+					d.I64(p.InjectedAt)
+					d.Int(int(p.ArrivalDir))
+					d.Bool(p.routed)
+					d.Int(int(p.outPort))
+					d.U64(p.routeSeq)
+					d.I64(p.stallStart)
+				}
+			}
+		}
+	}
+}

@@ -158,12 +158,15 @@ func (m *Machine) onPacketDrop(p *network.Packet, reason fault.DropReason, now i
 }
 
 // foldFaultCounters copies the injector's occurrence counts into the named
-// counter map at the end of a run, so results and caches carry them.
+// counter map at the end of a run, so results and caches carry them. The
+// one-shot guard keeps a segmented run (RunSegment callers may observe the
+// terminal state more than once) from double-counting.
 func (m *Machine) foldFaultCounters() {
 	i := m.faults
-	if i == nil {
+	if i == nil || m.faultsFolded {
 		return
 	}
+	m.faultsFolded = true
 	m.Counters.Inc("fault.drops", i.Drops)
 	m.Counters.Inc("fault.checksum_drops", i.ChecksumDrops)
 	m.Counters.Inc("fault.corruptions", i.Corruptions)

@@ -147,6 +147,7 @@ type Machine struct {
 	hangDump     string
 	fatal        error
 	probeStarted bool
+	faultsFolded bool
 }
 
 // netAcc is the per-outstanding-access network time attribution: total
@@ -602,16 +603,50 @@ func (m *Machine) Run(maxCycles int64) error {
 	// the run ends so processes that build many machines don't accumulate
 	// parked goroutines.
 	defer m.Kernel.ReleaseWorkers()
+	_, err := m.RunSegment(math.MaxInt64, m.Kernel.Now()+maxCycles)
+	return err
+}
+
+// RunSegment advances the simulation until it completes — quiescence, a
+// fatal fault-layer error, a watchdog trip, or the limit cycle — or until
+// the clock reaches stopAt, whichever comes first. Both bounds are absolute
+// cycles; limit is the run's overall cycle budget and must be the same on
+// every segment of one run. A (false, nil) return means the run paused at
+// stopAt and the caller should call RunSegment again to continue; (true,
+// err) carries the same terminal semantics as Run.
+//
+// Pausing is pure observation: the segment boundary only decides where the
+// step loop stops between kernel steps, never how far an idle-stretch
+// fast-forward may jump or when events fire, so a run split across any
+// sequence of RunSegment calls performs exactly the step sequence of a
+// single Run and is byte-identical to it. This is what checkpointing and
+// cancellation hang off: internal/exec pauses every few hundred thousand
+// cycles to check its context, report progress and snapshot state, without
+// perturbing the simulation.
+//
+// Callers that segment a run are responsible for releasing the kernel's
+// shard workers (Kernel.ReleaseWorkers) once the run is over; Run does it
+// itself.
+func (m *Machine) RunSegment(stopAt, limit int64) (done bool, err error) {
+	if m.engine == nil {
+		return true, fmt.Errorf("protocol: no engine attached")
+	}
 	m.startInvariantProbe()
-	done := m.Kernel.RunUntil(func() bool { return m.fatal != nil || m.Quiesced() }, maxCycles)
+	reached := m.Kernel.RunUntil(func() bool {
+		return m.fatal != nil || m.Kernel.Now() >= stopAt || m.Quiesced()
+	}, limit-m.Kernel.Now())
 	if c := m.Metrics; c != nil && c.NoC != nil {
 		c.NoC.Cycles = m.Kernel.Now()
 	}
+	if m.fatal == nil && reached && !m.Quiesced() &&
+		m.Kernel.Now() < limit && !m.Kernel.Hung() {
+		return false, nil // paused at stopAt; the run itself is not over
+	}
 	m.foldFaultCounters()
 	if m.fatal != nil {
-		return m.fatal
+		return true, m.fatal
 	}
-	if !done {
+	if !m.Quiesced() {
 		herr := &fault.HangError{
 			Cycle:    m.Kernel.Now(),
 			Seed:     m.Cfg.Seed,
@@ -619,12 +654,12 @@ func (m *Machine) Run(maxCycles int64) error {
 			Report:   m.stuckReport(),
 		}
 		m.writeHangDump(herr)
-		return herr
+		return true, herr
 	}
 	if v := m.Check.Violations(); len(v) > 0 {
-		return fmt.Errorf("protocol: %d verification violations, first: %s", len(v), v[0])
+		return true, fmt.Errorf("protocol: %d verification violations, first: %s", len(v), v[0])
 	}
-	return nil
+	return true, nil
 }
 
 func (m *Machine) stuckReport() string {

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"innetcc/internal/exec"
+)
+
+// Client talks to a running server's HTTP API. The zero HTTP field uses
+// http.DefaultClient.
+type Client struct {
+	// Base is the server URL, e.g. "http://localhost:8080".
+	Base string
+	// Tenant, when non-empty, is stamped onto submissions that omit one.
+	Tenant string
+	// HTTP overrides the transport.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// do issues a request and decodes the JSON response into out (skipped when
+// out is nil). Non-2xx responses are surfaced as errors carrying the
+// server's error message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a job and returns its record.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobRecord, error) {
+	if req.Tenant == "" {
+		req.Tenant = c.Tenant
+	}
+	var rec JobRecord
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &rec)
+	return rec, err
+}
+
+// Job fetches one job record.
+func (c *Client) Job(ctx context.Context, id string) (JobRecord, error) {
+	var rec JobRecord
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &rec)
+	return rec, err
+}
+
+// Jobs lists job records, optionally filtered by tenant.
+func (c *Client) Jobs(ctx context.Context, tenant string) ([]JobRecord, error) {
+	path := "/v1/jobs"
+	if tenant != "" {
+		path += "?tenant=" + tenant
+	}
+	var recs []JobRecord
+	err := c.do(ctx, http.MethodGet, path, nil, &recs)
+	return recs, err
+}
+
+// Result fetches a finished job's result payload.
+func (c *Client) Result(ctx context.Context, id string) (exec.Result, error) {
+	var res exec.Result
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res)
+	return res, err
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, nil)
+}
+
+// Stats fetches the server accounting snapshot.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Health probes the liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Watch consumes the job's server-sent events stream, invoking fn for each
+// event, until the job reaches a terminal state (returning its final
+// record), the stream ends, or ctx is canceled. fn may be nil.
+func (c *Client) Watch(ctx context.Context, id string, fn func(Event)) (JobRecord, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return JobRecord{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobRecord{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobRecord{}, fmt.Errorf("serve: events %s: HTTP %d", id, resp.StatusCode)
+	}
+	var last *JobRecord
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.Type == "state" && ev.Record != nil {
+			last = ev.Record
+			if last.Terminal() {
+				return *last, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobRecord{}, err
+	}
+	// Stream ended without a terminal state event (e.g. server drain):
+	// fall back to polling the record once.
+	return c.Job(ctx, id)
+}

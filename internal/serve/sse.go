@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"innetcc/internal/exec"
+)
+
+// Event is one entry of a job's progress stream (GET /v1/jobs/{id}/events,
+// server-sent events). State transitions carry the full record; progress
+// ticks carry the runner's Progress observation.
+type Event struct {
+	Type     string         `json:"type"` // "state" | "progress"
+	Record   *JobRecord     `json:"record,omitempty"`
+	Progress *exec.Progress `json:"progress,omitempty"`
+}
+
+// Subscribe attaches a progress listener to the job. The returned channel
+// first delivers a synthetic state event with the current record, then
+// every subsequent event, and is closed when the job reaches a terminal
+// state (the closing state event is delivered first). The unsubscribe
+// function is idempotent and safe after close.
+func (s *Server) Subscribe(id string) (<-chan Event, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js := s.jobs[id]
+	if js == nil {
+		return nil, nil, ErrUnknownJob
+	}
+	// Buffered so a stalled consumer drops events instead of blocking the
+	// simulation worker; 64 comfortably covers state transitions plus a
+	// burst of progress ticks.
+	ch := make(chan Event, 64)
+	ch <- Event{Type: "state", Record: recPtr(js.rec)}
+	if js.rec.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	js.subs = append(js.subs, ch)
+	unsub := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, c := range js.subs {
+			if c == ch {
+				js.subs = append(js.subs[:i], js.subs[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, unsub, nil
+}
+
+// publishLocked fans an event out to the job's subscribers. Callers hold
+// s.mu. Slow subscribers lose events (non-blocking send): progress is a
+// telemetry stream, not a transactional log, and the terminal state is
+// always recoverable from the record.
+func (s *Server) publishLocked(js *jobState, ev Event) {
+	for _, ch := range js.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeSubsLocked ends every subscriber stream. Callers hold s.mu.
+func (s *Server) closeSubsLocked(js *jobState) {
+	for _, ch := range js.subs {
+		close(ch)
+	}
+	js.subs = nil
+}

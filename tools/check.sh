@@ -73,6 +73,50 @@ go test -run '^$' -bench 'ParallelMesh' -benchtime "$PARALLEL_BENCHTIME" . |
         }' > BENCH_parallel.json
 cat BENCH_parallel.json
 
+# Serving-layer smoke under the race detector: start the job server on a
+# loopback port, submit a job over HTTP, stream its progress to completion,
+# fetch the result, then SIGTERM the server and require a clean drain.
+SERVE_DATA=$(mktemp -d)
+SERVE_ADDR=127.0.0.1:18931
+go build -race -o "$SERVE_DATA/innetcc" ./cmd/innetcc
+"$SERVE_DATA/innetcc" -serve "$SERVE_ADDR" -serve-data "$SERVE_DATA/data" \
+    -tenants 'ci=2:8' -serve-workers 2 > "$SERVE_DATA/server.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    if "$SERVE_DATA/innetcc" -client "http://$SERVE_ADDR" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+"$SERVE_DATA/innetcc" -client "http://$SERVE_ADDR" -submit -profile fft \
+    -engine tree -accesses 120 -tenant ci -watch yes >/dev/null
+"$SERVE_DATA/innetcc" -client "http://$SERVE_ADDR" -stats >/dev/null
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q 'drained' "$SERVE_DATA/server.log"
+
+# Serving-layer benchmark smoke: the 8-profile x 2-engine sweep through the
+# job server with a cold and a warm result cache, recorded as
+# BENCH_serve.json so scheduling/caching regressions show up in review
+# diffs. One iteration by default; set SERVE_BENCHTIME (e.g. 5x) to refresh
+# the committed numbers.
+: "${SERVE_BENCHTIME:=1x}"
+go test -run '^$' -bench 'ServeSweep' -benchtime "$SERVE_BENCHTIME" ./internal/serve |
+    awk '
+        $1 ~ /^BenchmarkServeSweep/ {
+            name = $1; sub(/-[0-9]+$/, "", name); sub(/^BenchmarkServeSweep/, "", name)
+            for (i = 2; i <= NF; i++) if ($(i+1) == "jobs/sec") jps[name] = $i
+        }
+        END {
+            if (jps["Cold"] == "" || jps["Warm"] == "") { print "bench output missing" > "/dev/stderr"; exit 1 }
+            printf "{\n"
+            printf "  \"benchmark\": \"ServeSweep\",\n"
+            printf "  \"config\": \"8 profiles x 2 engines, 60 accesses/node, 4 workers\",\n"
+            printf "  \"cold_jobs_per_sec\": %s,\n", jps["Cold"]
+            printf "  \"warm_jobs_per_sec\": %s,\n", jps["Warm"]
+            printf "  \"warm_speedup\": %.2f\n", jps["Warm"] / jps["Cold"]
+            printf "}\n"
+        }' > BENCH_serve.json
+cat BENCH_serve.json
+
 # Kernel benchmark smoke: the active-set kernel against its always-tick
 # control on the 64-node low-injection mesh, recorded as BENCH_kernel.json
 # so regressions in the idle-skip machinery show up in review diffs. One
