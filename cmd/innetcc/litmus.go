@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"innetcc/internal/exec"
+	"innetcc/internal/litmus"
+	"innetcc/internal/protocol"
+)
+
+// litmusFlags carries the -litmus campaign / -litmus-replay options.
+type litmusFlags struct {
+	count  int    // campaign size (generated programs); 0 = mode off
+	seed   uint64 // base seed; program i runs with seed base+i
+	engine string // "dir", "tree", or "both"
+	bug    string // seeded defect mask (tree engine only)
+	faults string // fault spec string applied to every run
+	shrink bool   // minimize failing specs before reporting
+	out    string // directory for reproducer spec files ("" = don't write)
+	replay string // spec file to replay instead of running a campaign
+	jobs   int    // worker parallelism
+}
+
+// runLitmusReplay loads a saved reproducer and replays it, printing what
+// the oracles say now. Reproducing a failure is the expected outcome, so
+// failures are reported, not returned as an error.
+func runLitmusReplay(w io.Writer, path string) error {
+	rs, err := litmus.Load(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replaying %s\n  %s\n", path, rs)
+	fails, err := litmus.Run(rs)
+	if err != nil {
+		return err
+	}
+	if len(fails) == 0 {
+		fmt.Fprintln(w, "result: all oracles passed (failure did not reproduce)")
+		return nil
+	}
+	for _, f := range fails {
+		fmt.Fprintln(w, "reproduced:", f)
+	}
+	return nil
+}
+
+// runLitmus runs a campaign of lf.count generated conflict programs through
+// the full simulator and its oracle battery. Any oracle failure makes the
+// command exit non-zero; -litmus-shrink minimizes each failing spec first
+// and -litmus-out saves the reproducers for later -litmus-replay.
+func runLitmus(w io.Writer, lf litmusFlags) error {
+	var kinds []protocol.EngineKind
+	if lf.engine == "both" {
+		kinds = protocol.EngineKinds()
+	} else {
+		k, err := protocol.ParseEngineKind(lf.engine)
+		if err != nil {
+			return err
+		}
+		kinds = []protocol.EngineKind{k}
+	}
+	var specs []litmus.RunSpec
+	for i := 0; i < lf.count; i++ {
+		seed := lf.seed + uint64(i)
+		prog := litmus.Generate(seed)
+		for _, k := range kinds {
+			specs = append(specs, litmus.RunSpec{
+				Engine: k, Seed: seed, Bug: lf.bug, Faults: lf.faults, Program: prog,
+			})
+		}
+	}
+	fmt.Fprintf(w, "litmus campaign: %d programs x %d engine(s), base seed %d", lf.count, len(kinds), lf.seed)
+	if lf.bug != "" {
+		fmt.Fprintf(w, ", bug %s", lf.bug)
+	}
+	if lf.faults != "" {
+		fmt.Fprintf(w, ", faults %s", lf.faults)
+	}
+	fmt.Fprintln(w)
+
+	results := exec.RunLitmusBatch(context.Background(), lf.jobs, specs)
+	failed := 0
+	for _, r := range results {
+		if !r.Failed() {
+			continue
+		}
+		failed++
+		if r.Err != "" {
+			fmt.Fprintf(w, "FAIL %s\n  error: %s\n", r.Spec, r.Err)
+			continue
+		}
+		rs := r.Spec
+		fails := r.Failures
+		if lf.shrink {
+			rs = litmus.Shrink(rs)
+			if shrunk, err := litmus.Run(rs); err == nil && len(shrunk) > 0 {
+				fails = shrunk
+			}
+		}
+		fmt.Fprintf(w, "FAIL %s\n", rs)
+		for _, f := range fails {
+			fmt.Fprintln(w, "  ", f)
+		}
+		if lf.out != "" {
+			if err := os.MkdirAll(lf.out, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(lf.out, fmt.Sprintf("litmus-%s-seed%d.json", rs.Engine, rs.Seed))
+			if err := rs.Save(path); err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "   reproducer:", path)
+		}
+	}
+	fmt.Fprintf(w, "litmus: %d/%d runs passed\n", len(results)-failed, len(results))
+	if failed > 0 {
+		return fmt.Errorf("litmus: %d of %d runs failed", failed, len(results))
+	}
+	return nil
+}

@@ -99,6 +99,17 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 
+	var lf litmusFlags
+	flag.IntVar(&lf.count, "litmus", 0, "run a litmus-fuzzing campaign of this many generated conflict programs instead of an experiment")
+	flag.StringVar(&lf.engine, "litmus-engine", "both", "litmus: engine(s) to replay each program on (dir|tree|both)")
+	flag.StringVar(&lf.bug, "litmus-bug", "", "litmus: seeded defect mask for the tree engine, e.g. \"skip-invalidate\" (mutation testing)")
+	flag.BoolVar(&lf.shrink, "litmus-shrink", true, "litmus: shrink failing specs to minimal reproducers before reporting")
+	flag.StringVar(&lf.out, "litmus-out", "", "litmus: write reproducer spec files for failing runs into this directory")
+	flag.StringVar(&lf.replay, "litmus-replay", "", "replay a saved litmus reproducer spec file and report the oracle outcome")
+
+	flag.StringVar(&mcheckMesh, "mcheck-mesh", "2x2", "mcheck: mesh size WxH for the model-checking run")
+	flag.IntVar(&mcheckWorkers, "mcheck-workers", 0, "mcheck: parallel BFS workers (0 = all cores, 1 = serial); counts identical at any setting")
+
 	var sf serveFlags
 	flag.StringVar(&sf.addr, "serve", "", "run the persistent job server on this listen address (e.g. :8080) instead of an experiment")
 	flag.StringVar(&sf.dataDir, "serve-data", defaultServeData(), "server persistence root (job records, checkpoints, result cache)")
@@ -124,6 +135,26 @@ func main() {
 	}
 	if sf.addr != "" {
 		if err := runServe(os.Stdout, sf); err != nil {
+			fmt.Fprintln(os.Stderr, "innetcc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if lf.replay != "" {
+		if err := runLitmusReplay(os.Stdout, lf.replay); err != nil {
+			fmt.Fprintln(os.Stderr, "innetcc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if lf.count > 0 {
+		lf.seed = *seed
+		if lf.seed == 0 {
+			lf.seed = 1
+		}
+		lf.faults = *faults
+		lf.jobs = *jobs
+		if err := runLitmus(os.Stdout, lf); err != nil {
 			fmt.Fprintln(os.Stderr, "innetcc:", err)
 			os.Exit(1)
 		}
@@ -360,11 +391,29 @@ func runStorage(w io.Writer, _ experiments.Options) error {
 	return nil
 }
 
+// mcheckMesh and mcheckWorkers are the -mcheck-mesh / -mcheck-workers flag
+// values (registered in main, read by runMCheck through the registry).
+var (
+	mcheckMesh    string
+	mcheckWorkers int
+)
+
 func runMCheck(w io.Writer, _ experiments.Options) error {
+	var mw, mh int
+	if _, err := fmt.Sscanf(mcheckMesh, "%dx%d", &mw, &mh); err != nil || mw < 2 || mh < 1 {
+		return fmt.Errorf("mcheck: bad -mcheck-mesh %q (want WxH, e.g. 2x2 or 3x3)", mcheckMesh)
+	}
+	workers := mcheckWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	home, ops := mcheck.DefaultProgram()
 	fmt.Fprintln(w, "Section 2.4 — exhaustive model checking of the reduced protocol")
-	res := mcheck.New(home, ops).Run()
-	fmt.Fprintf(w, "program: 2 concurrent reads + 2 concurrent writes, home=%d\n", home)
+	c := mcheck.NewMesh(mw, mh, home, ops)
+	c.Workers = workers
+	res := c.Run()
+	fmt.Fprintf(w, "program: 2 concurrent reads + 2 concurrent writes, home=%d, mesh %dx%d, %d worker(s)\n",
+		home, mw, mh, workers)
 	fmt.Fprintf(w, "%v\n", res)
 	for _, v := range res.Violations {
 		fmt.Fprintln(w, "VIOLATION:", v)

@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"innetcc/internal/litmus"
+	"innetcc/internal/protocol"
+)
+
+// TestRunLitmusBatchDeterministic pins the campaign contract: results come
+// back in submission order with identical content at every worker count,
+// and a run with a seeded defect surfaces its failures in the batch.
+func TestRunLitmusBatchDeterministic(t *testing.T) {
+	var specs []litmus.RunSpec
+	for seed := uint64(1); seed <= 6; seed++ {
+		for _, eng := range []protocol.EngineKind{protocol.KindDirectory, protocol.KindTree} {
+			specs = append(specs, litmus.RunSpec{Engine: eng, Seed: seed, Program: litmus.Generate(seed)})
+		}
+	}
+	// One seeded-defect spec and one malformed spec mixed in.
+	specs = append(specs, litmus.RunSpec{
+		Engine: protocol.KindTree, Seed: 1, Bug: "skip-invalidate",
+		Program: litmus.Program{MeshW: 2, MeshH: 2, Ops: []litmus.Op{
+			{Node: 1, Addr: 0}, {Node: 2, Addr: 1}, {Node: 2, Addr: 0, Write: true}}},
+	})
+	specs = append(specs, litmus.RunSpec{Engine: protocol.KindTree, Seed: 1, Faults: "bogus=1",
+		Program: litmus.Program{MeshW: 2, MeshH: 2, Ops: []litmus.Op{{Node: 0, Addr: 0}}}})
+
+	serial := RunLitmusBatch(context.Background(), 1, specs)
+	if n := len(serial); n != len(specs) {
+		t.Fatalf("got %d results for %d specs", n, len(specs))
+	}
+	for i, r := range serial[:len(serial)-2] {
+		if r.Failed() {
+			t.Errorf("clean spec %d failed: %+v", i, r)
+		}
+	}
+	if bug := serial[len(serial)-2]; !bug.Failed() || len(bug.Failures) == 0 {
+		t.Errorf("seeded-defect spec did not fail: %+v", bug)
+	}
+	if bad := serial[len(serial)-1]; bad.Err == "" {
+		t.Errorf("malformed spec did not error: %+v", bad)
+	}
+	for _, workers := range []int{0, 3, 16} {
+		par := RunLitmusBatch(context.Background(), workers, specs)
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: batch results diverge from serial", workers)
+		}
+	}
+}
+
+// TestRunLitmusBatchCancel pins that a canceled context marks the
+// remaining specs instead of running them.
+func TestRunLitmusBatchCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs := []litmus.RunSpec{
+		{Engine: protocol.KindTree, Seed: 1, Program: litmus.Generate(1)},
+		{Engine: protocol.KindTree, Seed: 2, Program: litmus.Generate(2)},
+	}
+	for i, r := range RunLitmusBatch(ctx, 2, specs) {
+		if r.Err == "" {
+			t.Errorf("result %d: want cancellation error, got %+v", i, r)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package litmus
+
+import "innetcc/internal/sim"
+
+// Generate draws a random conflict program from seed: a small mesh, one to
+// three line addresses (few lines shared by many nodes is what makes a
+// litmus test a conflict test), and 4–12 accesses dealt across random
+// nodes. The draw is a pure function of the seed — the same RNG discipline
+// as the rest of the repository — so a campaign is fully described by its
+// base seed and count.
+func Generate(seed uint64) Program {
+	rng := sim.NewRNG(seed)
+	meshes := [][2]int{{2, 2}, {2, 2}, {2, 3}, {3, 3}}
+	m := meshes[rng.Intn(len(meshes))]
+	nodes := m[0] * m[1]
+	addrs := make([]uint64, 1+rng.Intn(3))
+	for i := range addrs {
+		// Spread homes across the mesh (home = addr % nodes) and let two
+		// draws collide into the same line now and then.
+		addrs[i] = uint64(rng.Intn(2 * nodes))
+	}
+	ops := make([]Op, 4+rng.Intn(9))
+	for i := range ops {
+		ops[i] = Op{
+			Node:  rng.Intn(nodes),
+			Addr:  addrs[rng.Intn(len(addrs))],
+			Write: rng.Intn(2) == 0,
+		}
+	}
+	return Program{MeshW: m[0], MeshH: m[1], Ops: ops}
+}
+
+// DecodeProgram builds a program from raw fuzzer bytes: three bytes per
+// op (node, address, kind) on a mesh picked by the first byte. Unlike
+// Generate it gives a coverage-guided fuzzer direct structural control
+// over every op. The result is always valid (Validate passes).
+func DecodeProgram(raw []byte) Program {
+	meshes := [][2]int{{2, 2}, {2, 3}, {3, 3}}
+	m := meshes[0]
+	if len(raw) > 0 {
+		m = meshes[int(raw[0])%len(meshes)]
+		raw = raw[1:]
+	}
+	nodes := m[0] * m[1]
+	var ops []Op
+	for i := 0; i+3 <= len(raw) && len(ops) < 32; i += 3 {
+		ops = append(ops, Op{
+			Node:  int(raw[i]) % nodes,
+			Addr:  uint64(raw[i+1]) % uint64(2*nodes),
+			Write: raw[i+2]&1 == 1,
+		})
+	}
+	if len(ops) == 0 {
+		ops = []Op{{Node: 0, Addr: 0}}
+	}
+	return Program{MeshW: m[0], MeshH: m[1], Ops: ops}
+}

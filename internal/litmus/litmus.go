@@ -1,0 +1,150 @@
+// Package litmus is the simulator-level half of the two-layer verification
+// net (the model checker in internal/mcheck is the other half). It
+// generates small randomized conflict programs — concurrent reads and
+// writes to a handful of lines from many nodes, on deliberately tiny cache
+// geometries so eviction and conflict paths fire — replays each through
+// the full simulator, clean and under deterministic fault plans, and
+// checks a battery of oracles:
+//
+//   - the runtime verifier (SWMR on write commit, read-vs-memory sampling,
+//     per-node monotonicity), surfaced through the run error;
+//   - teardown liveness: the run must quiesce with every access complete
+//     (a dropped acknowledgment or lost completion hangs the run, which
+//     the watchdog converts into a typed failure);
+//   - the end-state self-check (verify.EndState): nothing committed is
+//     lost, no copy or memory version beyond the committed bound, at most
+//     one Modified copy;
+//   - the linearization witness (verify.CheckWitness): the retained
+//     commit-point order must be a legal sequential MSI history;
+//   - completeness: every issued access commits (writes exactly once;
+//     reads exactly once on clean runs, at least once under fault plans,
+//     where a late reply's serve may legitimately be re-sampled).
+//
+// A failing spec is shrunk (Shrink) to a minimal reproducer and written as
+// a replayable JSON spec file; Load + Run reproduces the failure
+// deterministically, because every input — program, config, fault plan —
+// is a pure function of the spec.
+package litmus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"innetcc/internal/protocol"
+	"innetcc/internal/trace"
+)
+
+// Op is one access of a litmus program.
+type Op struct {
+	Node  int    `json:"node"`
+	Addr  uint64 `json:"addr"`
+	Write bool   `json:"write,omitempty"`
+}
+
+func (o Op) String() string {
+	k := "R"
+	if o.Write {
+		k = "W"
+	}
+	return fmt.Sprintf("n%d:%s@%#x", o.Node, k, o.Addr)
+}
+
+// Program is a litmus test: a mesh shape and an op list. Ops are dealt to
+// per-node streams in list order; each node issues its ops in program
+// order (one outstanding at a time), and cross-node interleaving is
+// whatever the simulated timing produces.
+type Program struct {
+	MeshW int  `json:"mesh_w"`
+	MeshH int  `json:"mesh_h"`
+	Ops   []Op `json:"ops"`
+}
+
+// Validate reports structural errors a run cannot proceed past.
+func (p Program) Validate() error {
+	if p.MeshW < 2 || p.MeshH < 2 || p.MeshW > 8 || p.MeshH > 8 {
+		return fmt.Errorf("litmus: mesh %dx%d out of range [2,8]", p.MeshW, p.MeshH)
+	}
+	if len(p.Ops) == 0 || len(p.Ops) > 256 {
+		return fmt.Errorf("litmus: %d ops out of range [1,256]", len(p.Ops))
+	}
+	nodes := p.MeshW * p.MeshH
+	for i, op := range p.Ops {
+		if op.Node < 0 || op.Node >= nodes {
+			return fmt.Errorf("litmus: op %d node %d outside %d-node mesh", i, op.Node, nodes)
+		}
+	}
+	return nil
+}
+
+// Trace deals the ops to per-node access streams.
+func (p Program) Trace() *trace.Trace {
+	per := make([][]trace.Access, p.MeshW*p.MeshH)
+	for _, op := range p.Ops {
+		per[op.Node] = append(per[op.Node], trace.Access{Addr: op.Addr, Write: op.Write})
+	}
+	return &trace.Trace{Name: "litmus", PerNode: per}
+}
+
+// RunSpec is the complete, self-contained description of one litmus run —
+// the replayable reproducer format. Every field feeds a pure function, so
+// two Runs of the same spec are identical down to the cycle.
+type RunSpec struct {
+	// Version is the spec-file format version (specVersion).
+	Version int `json:"version"`
+	// Engine selects the coherence engine under test.
+	Engine protocol.EngineKind `json:"engine"`
+	// Seed drives the simulation's randomness (think times) and, xored
+	// through faultSeed, the fault plan's schedule.
+	Seed uint64 `json:"seed"`
+	// Bug, when non-empty, names a seeded protocol defect
+	// (treecc.ParseBug) armed on the engine under test.
+	Bug string `json:"bug,omitempty"`
+	// Faults, when non-empty, is a fault.ParseSpec string arming
+	// injection and the retry/watchdog recovery knobs.
+	Faults string `json:"faults,omitempty"`
+	// Program is the litmus test itself.
+	Program Program `json:"program"`
+}
+
+// specVersion is bumped whenever RunSpec's semantics change incompatibly.
+const specVersion = 1
+
+// String is a compact human-readable one-liner for logs.
+func (rs RunSpec) String() string {
+	s := fmt.Sprintf("%s seed=%d %dx%d %v", rs.Engine, rs.Seed,
+		rs.Program.MeshW, rs.Program.MeshH, rs.Program.Ops)
+	if rs.Bug != "" {
+		s += " bug=" + rs.Bug
+	}
+	if rs.Faults != "" {
+		s += " faults=" + rs.Faults
+	}
+	return s
+}
+
+// Save writes the spec as an indented JSON reproducer file.
+func (rs RunSpec) Save(path string) error {
+	rs.Version = specVersion
+	b, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads a reproducer file written by Save.
+func Load(path string) (RunSpec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	var rs RunSpec
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return RunSpec{}, fmt.Errorf("litmus: %s: %v", path, err)
+	}
+	if rs.Version != specVersion {
+		return RunSpec{}, fmt.Errorf("litmus: %s: spec version %d, want %d", path, rs.Version, specVersion)
+	}
+	return rs, nil
+}

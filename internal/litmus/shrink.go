@@ -1,0 +1,105 @@
+package litmus
+
+import "innetcc/internal/fault"
+
+// Fails reports whether the spec still trips at least one oracle. The
+// shrinker preserves this predicate rather than the exact failure text:
+// a minimal reproducer may surface the same defect through a different
+// oracle (a witness violation collapsing into a liveness hang, say), and
+// any surviving failure is the defect's signature, because every oracle
+// passes on the clean protocol.
+func Fails(rs RunSpec) bool {
+	fails, err := Run(rs)
+	return err == nil && len(fails) > 0
+}
+
+// Shrink greedily minimizes a failing spec while Fails keeps holding:
+// drop ops one at a time to a fixed point, move the program to a smaller
+// mesh, simplify the fault plan (remove it outright, else strip it to
+// drops only), then drop ops again on the reduced configuration. Every
+// candidate order is fixed and Run is a pure function of the spec, so the
+// shrink is deterministic: the same failing spec always minimizes to the
+// same reproducer. The input spec is returned unchanged if it does not
+// fail in the first place.
+func Shrink(rs RunSpec) RunSpec {
+	if !Fails(rs) {
+		return rs
+	}
+	rs = shrinkOps(rs)
+	rs = shrinkMesh(rs)
+	rs = shrinkFaults(rs)
+	rs = shrinkOps(rs)
+	return rs
+}
+
+// shrinkOps removes single ops, last to first so candidate indices stay
+// stable, repeating until a full pass removes nothing.
+func shrinkOps(rs RunSpec) RunSpec {
+	for changed := true; changed; {
+		changed = false
+		for i := len(rs.Program.Ops) - 1; i >= 0; i-- {
+			if len(rs.Program.Ops) == 1 {
+				break
+			}
+			cand := rs
+			cand.Program.Ops = make([]Op, 0, len(rs.Program.Ops)-1)
+			cand.Program.Ops = append(cand.Program.Ops, rs.Program.Ops[:i]...)
+			cand.Program.Ops = append(cand.Program.Ops, rs.Program.Ops[i+1:]...)
+			if Fails(cand) {
+				rs = cand
+				changed = true
+			}
+		}
+	}
+	return rs
+}
+
+// shrinkMesh tries to move the program to a smaller mesh, folding node ids
+// modulo the smaller node count. Smallest first; the first candidate that
+// still fails wins.
+func shrinkMesh(rs RunSpec) RunSpec {
+	for _, m := range [][2]int{{2, 2}, {2, 3}} {
+		if m[0]*m[1] >= rs.Program.MeshW*rs.Program.MeshH {
+			continue
+		}
+		cand := rs
+		cand.Program.MeshW, cand.Program.MeshH = m[0], m[1]
+		cand.Program.Ops = make([]Op, len(rs.Program.Ops))
+		for i, op := range rs.Program.Ops {
+			op.Node %= m[0] * m[1]
+			cand.Program.Ops[i] = op
+		}
+		if Fails(cand) {
+			return cand
+		}
+	}
+	return rs
+}
+
+// shrinkFaults first tries removing the fault plan entirely, then — for
+// failures that need injection to manifest — stripping it to its drop
+// component with the recovery knobs kept.
+func shrinkFaults(rs RunSpec) RunSpec {
+	if rs.Faults == "" {
+		return rs
+	}
+	cand := rs
+	cand.Faults = ""
+	if Fails(cand) {
+		return cand
+	}
+	fspec, err := fault.ParseSpec(rs.Faults)
+	if err != nil {
+		return rs
+	}
+	simple := fspec
+	simple.CorruptPPM, simple.StallPPM = 0, 0
+	if s := simple.String(); s != rs.Faults {
+		cand = rs
+		cand.Faults = s
+		if Fails(cand) {
+			return cand
+		}
+	}
+	return rs
+}

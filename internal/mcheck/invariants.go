@@ -11,9 +11,13 @@ import "fmt"
 //  3. with no Modified copy in the system, every Shared copy holds the
 //     memory-current version (no stale survivors);
 //  4. version counters are sane (no copy newer than the commit counter).
+//
+// All conditions are invariant under the symmetry group of symmetry.go
+// (they never name a specific non-home node), so checking them on each
+// concrete successor while deduplicating canonically is sound.
 func (c *Checker) checkInvariants(s *state) {
 	mCount, mNode := 0, -1
-	for n := 0; n < nodes; n++ {
+	for n := 0; n < c.nodes; n++ {
 		if s.data[n] == dModified {
 			mCount++
 			mNode = n
@@ -26,13 +30,13 @@ func (c *Checker) checkInvariants(s *state) {
 		c.fail("%d Modified copies coexist", mCount)
 	}
 	if mCount == 1 {
-		for n := 0; n < nodes; n++ {
+		for n := 0; n < c.nodes; n++ {
 			if n != mNode && s.data[n] != dInvalid {
 				c.fail("node %d holds a copy while node %d is Modified: %s", n, mNode, c.describe(s))
 			}
 		}
 	} else {
-		for n := 0; n < nodes; n++ {
+		for n := 0; n < c.nodes; n++ {
 			if s.data[n] == dShared && s.dver[n] != s.memV {
 				c.fail("node %d Shared copy v%d is stale (memory v%d): %s", n, s.dver[n], s.memV, c.describe(s))
 			}
@@ -46,7 +50,7 @@ func (c *Checker) checkInvariants(s *state) {
 // checkSoleCopy runs at a write commit: Requirement of MSI — no other node
 // may hold a valid copy at the serialization point.
 func (c *Checker) checkSoleCopy(s *state, writer int) {
-	for n := 0; n < nodes; n++ {
+	for n := 0; n < c.nodes; n++ {
 		if n != writer && s.data[n] != dInvalid {
 			c.fail("write commit at n%d while n%d holds a copy: %s", writer, n, c.describe(s))
 		}
@@ -63,11 +67,14 @@ func (c *Checker) checkLocalRead(s *state, node int) {
 }
 
 // checkTerminal validates fully drained end states: the surviving virtual
-// tree (if any) must be structurally sound and all data copies anchored.
+// tree (if any) must be structurally sound, all data copies anchored, and
+// the latest committed write must survive in memory or a cache (the
+// data-value oracle — a lost writeback leaves every structural invariant
+// intact but silently rolls the line back).
 func (c *Checker) checkTerminal(s *state) {
 	roots := 0
 	members := 0
-	for n := 0; n < nodes; n++ {
+	for n := 0; n < c.nodes; n++ {
 		t := &s.lines[n]
 		if !t.Valid {
 			if s.data[n] != dInvalid && n != c.Home {
@@ -88,7 +95,7 @@ func (c *Checker) checkTerminal(s *state) {
 			if !t.Links[d] {
 				continue
 			}
-			nb := neighbor(n, d)
+			nb := c.neighbor(n, d)
 			if nb < 0 || !s.lines[nb].Valid {
 				c.fail("terminal: n%d link %d dangles", n, d)
 			} else if !s.lines[nb].Links[opposite(d)] {
@@ -109,6 +116,17 @@ func (c *Checker) checkTerminal(s *state) {
 			c.fail("terminal: home not part of surviving tree: %s", c.describe(s))
 		}
 	}
+	// Data-value oracle: the newest committed version must be resident in
+	// memory or some cache once everything drains.
+	maxv := s.memV
+	for n := 0; n < c.nodes; n++ {
+		if s.data[n] != dInvalid && s.dver[n] > maxv {
+			maxv = s.dver[n]
+		}
+	}
+	if maxv != s.wrote {
+		c.fail("terminal: committed version %d lost (newest surviving v%d): %s", s.wrote, maxv, c.describe(s))
+	}
 	// Every read must have sampled some committed version (0 = initial
 	// memory is also legal).
 	for i, o := range s.ops {
@@ -120,6 +138,6 @@ func (c *Checker) checkTerminal(s *state) {
 
 // String renders a result for logs.
 func (r Result) String() string {
-	return fmt.Sprintf("states=%d transitions=%d terminals=%d violations=%d deadlocks=%d",
-		r.States, r.Transitions, r.Terminals, len(r.Violations), len(r.Deadlocks))
+	return fmt.Sprintf("states=%d transitions=%d explored=%d peak_frontier=%d terminals=%d violations=%d deadlocks=%d truncated=%v",
+		r.States, r.Transitions, r.Explored, r.PeakFrontier, r.Terminals, len(r.Violations), len(r.Deadlocks), r.Truncated)
 }

@@ -12,18 +12,20 @@
 // cache capacity conflicts, evictions and the timeout recovery they require
 // are outside the backbone being checked, exactly as in the paper's Murφ
 // spec.
+//
+// Unlike the paper's fixed 2×2 run, the mesh geometry and the concurrent
+// op program are parameters of Checker, states are deduplicated through a
+// 64-bit canonical hash taken as the minimum over the model's symmetry
+// group (mesh axis flips that fix the home node, composed with
+// permutations of interchangeable ops), and the BFS can fan a level out
+// across worker goroutines. Together these push exhaustive exploration
+// from the paper's 2×2 bound to 3×3 meshes with several concurrent ops.
 package mcheck
 
 import (
 	"fmt"
 	"sort"
-)
-
-// Mesh geometry of the reduced model.
-const (
-	meshW = 2
-	meshH = 2
-	nodes = meshW * meshH
+	"sync"
 )
 
 // Directions, matching the full simulator's encoding.
@@ -49,8 +51,8 @@ func opposite(d int) int {
 	return dirNone
 }
 
-func neighbor(n, d int) int {
-	x, y := n%meshW, n/meshW
+func (c *Checker) neighbor(n, d int) int {
+	x, y := n%c.MeshW, n/c.MeshW
 	switch d {
 	case dirN:
 		y--
@@ -61,15 +63,15 @@ func neighbor(n, d int) int {
 	case dirW:
 		x--
 	}
-	if x < 0 || x >= meshW || y < 0 || y >= meshH {
+	if x < 0 || x >= c.MeshW || y < 0 || y >= c.MeshH {
 		return -1
 	}
-	return y*meshW + x
+	return y*c.MeshW + x
 }
 
-func xyTo(from, to int) int {
-	fx, fy := from%meshW, from/meshW
-	tx, ty := to%meshW, to/meshW
+func (c *Checker) xyTo(from, to int) int {
+	fx, fy := from%c.MeshW, from/c.MeshW
+	tx, ty := to%c.MeshW, to/c.MeshW
 	switch {
 	case tx > fx:
 		return dirE
@@ -81,6 +83,19 @@ func xyTo(from, to int) int {
 		return dirN
 	}
 	return dirNone
+}
+
+func (c *Checker) dist(a, b int) int {
+	ax, ay := a%c.MeshW, a/c.MeshW
+	bx, by := b%c.MeshW, b/c.MeshW
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
 }
 
 // Message types.
@@ -168,107 +183,103 @@ type opState struct {
 }
 
 // state is one global protocol state. Channels are FIFO per directed mesh
-// edge; nicq are the above-network service queues; homeq holds requests
-// queued at the home during teardown; pending marks the home-serve
-// serialization window.
+// edge (flattened node*4+dir); nicq are the above-network service queues;
+// homeq holds requests queued at the home during teardown; pend marks the
+// home-serve serialization window.
 type state struct {
-	lines [nodes]treeLine
-	data  [nodes]int8 // dInvalid/dShared/dModified
-	dver  [nodes]int8
+	lines []treeLine
+	data  []int8 // dInvalid/dShared/dModified
+	dver  []int8
 	memV  int8
 	wrote int8 // committed writes so far
 	ops   []opState
-	chans [nodes][4][]msg // outgoing FIFO per direction
-	nicq  [nodes][]msg
+	chans [][]msg // outgoing FIFO, indexed node*4+dir
+	nicq  [][]msg
 	homeq []msg // queued while the tree is being torn down
 	pendq []msg // queued while a home serve is in flight
 	pend  bool
 }
 
 func (s *state) clone() *state {
-	c := *s
-	c.ops = append([]opState(nil), s.ops...)
-	for n := 0; n < nodes; n++ {
-		for d := 0; d < 4; d++ {
-			c.chans[n][d] = append([]msg(nil), s.chans[n][d]...)
-		}
-		c.nicq[n] = append([]msg(nil), s.nicq[n]...)
+	c := &state{
+		lines: append([]treeLine(nil), s.lines...),
+		data:  append([]int8(nil), s.data...),
+		dver:  append([]int8(nil), s.dver...),
+		memV:  s.memV,
+		wrote: s.wrote,
+		ops:   append([]opState(nil), s.ops...),
+		chans: make([][]msg, len(s.chans)),
+		nicq:  make([][]msg, len(s.nicq)),
+		homeq: append([]msg(nil), s.homeq...),
+		pendq: append([]msg(nil), s.pendq...),
+		pend:  s.pend,
 	}
-	c.homeq = append([]msg(nil), s.homeq...)
-	c.pendq = append([]msg(nil), s.pendq...)
-	return &c
+	for i, q := range s.chans {
+		if len(q) > 0 {
+			c.chans[i] = append([]msg(nil), q...)
+		}
+	}
+	for i, q := range s.nicq {
+		if len(q) > 0 {
+			c.nicq[i] = append([]msg(nil), q...)
+		}
+	}
+	return c
 }
 
-// key builds a canonical encoding for the visited set.
-func (s *state) key() string {
-	b := make([]byte, 0, 128)
-	for n := 0; n < nodes; n++ {
-		t := &s.lines[n]
-		var flags byte
-		if t.Valid {
-			flags |= 1
-		}
-		if t.Touched {
-			flags |= 2
-		}
-		if t.IsRoot {
-			flags |= 4
-		}
-		if t.LocalV {
-			flags |= 8
-		}
-		if t.Anchored {
-			flags |= 16
-		}
-		b = append(b, flags, byte(t.RootDir))
-		var lb byte
-		for d := 0; d < 4; d++ {
-			if t.Links[d] {
-				lb |= 1 << d
-			}
-		}
-		b = append(b, lb, byte(s.data[n]), byte(s.dver[n]))
-	}
-	b = append(b, byte(s.memV), byte(s.wrote))
-	for _, o := range s.ops {
-		b = append(b, byte(o.Phase), byte(o.Sampled))
-	}
-	enc := func(q []msg) {
-		b = append(b, byte(len(q)))
-		for _, m := range q {
-			var f byte
-			if m.Root {
-				f |= 1
-			}
-			if m.Built {
-				f |= 2
-			}
-			if m.HomeServe {
-				f |= 4
-			}
-			b = append(b, byte(m.Type), byte(m.Op), byte(m.Ver), f)
-		}
-	}
-	for n := 0; n < nodes; n++ {
-		for d := 0; d < 4; d++ {
-			enc(s.chans[n][d])
-		}
-		enc(s.nicq[n])
-	}
-	enc(s.homeq)
-	enc(s.pendq)
-	if s.pend {
-		b = append(b, 1)
-	} else {
-		b = append(b, 0)
-	}
-	return string(b)
-}
+// Mutation is a bitmask of deliberate protocol bugs the checker can inject
+// into the model. Each one removes a protection the real protocol relies
+// on; the mutation test suite proves the exhaustive search detects every
+// one of them (the same role the paper's Murφ model played during protocol
+// design). The names pair 1:1 with internal/treecc's engine-side Bug bits
+// so the litmus fuzzer can assert the full simulator catches the same
+// seeded bugs.
+type Mutation uint32
+
+const (
+	// MutDropAckHold removes the outstanding-request acknowledgment hold:
+	// a touched line with a pending completion collapses immediately.
+	MutDropAckHold Mutation = 1 << iota
+	// MutAcceptStaleReply installs data from replies that arrive into a
+	// torn-down completion window (the model's rendering of accepting a
+	// reply from an abandoned reissue epoch). It removes both the anchor
+	// generation check and the acknowledgment hold that together close
+	// that window.
+	MutAcceptStaleReply
+	// MutDropTdAck silently drops TD_ACK messages at tree collapse.
+	MutDropTdAck
+	// MutEarlyHomeRelease completes the home's teardown — releasing the
+	// queued requests — before the subtree acknowledgments arrive (wrong
+	// teardown order).
+	MutEarlyHomeRelease
+	// MutSkipInvalidate leaves the local data copy valid when a teardown
+	// passes through a sharer.
+	MutSkipInvalidate
+	// MutLostWriteback drops the dirty version instead of folding it into
+	// memory when a Modified copy is invalidated.
+	MutLostWriteback
+	// MutDoubleGrant ignores the home-serve serialization window, letting
+	// the home serve a second request while one is already in flight.
+	MutDoubleGrant
+)
 
 // Result summarizes a model-checking run.
 type Result struct {
-	States      int
+	// States counts distinct canonical states discovered (after symmetry
+	// reduction); Canonical is an alias kept explicit for reports.
+	States    int
+	Canonical int
+	// Explored counts states actually expanded (dequeued and given to the
+	// transition relation); it trails States only when the run stops early.
+	Explored int
+	// Transitions counts generated successor states, including those that
+	// fold into an already-visited canonical class.
 	Transitions int
+	// PeakFrontier is the largest BFS level encountered.
+	PeakFrontier int
+	// Truncated reports that MaxStates stopped the search before the
+	// frontier drained; the verdict is then only partial.
+	Truncated bool
 	// Violations lists invariant failures (empty on success).
 	Violations []string
 	// Deadlocks lists non-terminal states with no enabled transition.
@@ -279,25 +290,69 @@ type Result struct {
 
 // Checker runs the exploration.
 type Checker struct {
-	Home      int
-	Ops       []Op
-	MaxStates int
+	MeshW, MeshH int
+	Home         int
+	Ops          []Op
+	MaxStates    int
+
+	// Workers fans each BFS level out across this many goroutines
+	// (<=1 explores serially). Results are merged in deterministic
+	// frontier order, so state/transition counts are identical at any
+	// worker count.
+	Workers int
+	// Symmetry canonicalizes states under the model's automorphism group
+	// before visited-set lookup. Safe to leave on: the group is the
+	// identity when the configuration has no usable symmetry.
+	Symmetry bool
+	// TraceEdges keeps a parent edge per canonical state so violations
+	// and deadlocks carry counterexample traces. Costs memory
+	// proportional to the state count; switch off for large runs.
+	TraceEdges bool
 
 	// DisableAckHold and DisableAnchor switch off two protocol
 	// protections (the outstanding-request acknowledgment hold and the
-	// completion anchor). They exist for mutation tests that prove the
-	// checker detects the races those protections close.
+	// completion anchor). They predate Mut and remain for compatibility;
+	// MutDropAckHold / MutAcceptStaleReply are the table-driven forms.
 	DisableAckHold bool
 	DisableAnchor  bool
+	// Mut injects the selected protocol bugs into the model.
+	Mut Mutation
 
+	nodes      int
+	group      []symElem
 	violations []string
 	deadlocks  []string
 }
 
-// New returns a checker for the given concurrent program. home is the
-// line's home node.
+func (c *Checker) has(m Mutation) bool { return c.Mut&m != 0 }
+
+func (c *Checker) ackHoldOff() bool {
+	return c.DisableAckHold || c.has(MutDropAckHold) || c.has(MutAcceptStaleReply)
+}
+
+func (c *Checker) anchorOff() bool {
+	return c.DisableAnchor || c.has(MutAcceptStaleReply)
+}
+
+// New returns a checker for the given concurrent program on the paper's
+// 2×2 mesh. home is the line's home node.
 func New(home int, ops []Op) *Checker {
-	return &Checker{Home: home, Ops: ops, MaxStates: 2_000_000}
+	return NewMesh(2, 2, home, ops)
+}
+
+// NewMesh returns a checker for a w×h mesh. Symmetry reduction and
+// counterexample traces are on by default; Workers defaults to serial.
+func NewMesh(w, h, home int, ops []Op) *Checker {
+	return &Checker{
+		MeshW:      w,
+		MeshH:      h,
+		Home:       home,
+		Ops:        ops,
+		MaxStates:  2_000_000,
+		Workers:    1,
+		Symmetry:   true,
+		TraceEdges: true,
+	}
 }
 
 // DefaultProgram mirrors the paper's Murφ bound: concurrent reads on two
@@ -311,75 +366,231 @@ func DefaultProgram() (home int, ops []Op) {
 	}
 }
 
-// Run explores the full state space with BFS and returns the result.
+// fstate is a frontier entry: the state plus its canonical hash (the
+// visited-set identity, reused for trace parent edges).
+type fstate struct {
+	s *state
+	h uint64
+}
+
+// edge is one parent link of the exploration DAG, kept when TraceEdges is
+// on so counterexamples can be replayed as a label sequence.
+type edge struct {
+	parent uint64
+	label  string
+}
+
+// candidate is a successor produced by a worker, pending the global
+// visited-set merge.
+type candidate struct {
+	s      *state
+	h      uint64
+	parent uint64
+	label  string
+}
+
+// workerOut collects one worker's share of a BFS level.
+type workerOut struct {
+	cand        []candidate
+	transitions int
+	explored    int
+	terminals   int
+	violations  []string
+	deadlocks   []string
+}
+
+const (
+	maxViolations = 10
+	maxDeadlocks  = 2
+)
+
+func (c *Checker) fail(format string, args ...interface{}) {
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Run explores the full state space with a level-synchronous BFS and
+// returns the result. With Workers > 1 each level is expanded in
+// parallel; the merge into the visited set happens serially in frontier
+// order, so the result is independent of the worker count.
 func (c *Checker) Run() Result {
-	init := &state{}
-	init.ops = make([]opState, len(c.Ops))
-	for n := 0; n < nodes; n++ {
-		init.data[n] = dInvalid
+	c.nodes = c.MeshW * c.MeshH
+	if c.MeshW < 1 || c.MeshH < 1 {
+		panic("mcheck: empty mesh")
+	}
+	if c.Home < 0 || c.Home >= c.nodes {
+		panic("mcheck: home outside mesh")
+	}
+	for _, op := range c.Ops {
+		if op.Node < 0 || op.Node >= c.nodes {
+			panic("mcheck: op node outside mesh")
+		}
+	}
+	c.buildGroup()
+
+	init := &state{
+		lines: make([]treeLine, c.nodes),
+		data:  make([]int8, c.nodes),
+		dver:  make([]int8, c.nodes),
+		ops:   make([]opState, len(c.Ops)),
+		chans: make([][]msg, c.nodes*4),
+		nicq:  make([][]msg, c.nodes),
+	}
+	for n := 0; n < c.nodes; n++ {
 		init.lines[n].RootDir = dirNone
 	}
-	type edge struct {
-		parent string
-		label  string
+
+	visited := newHashSet(1 << 14)
+	h0 := c.canonicalHash(init)
+	visited.Add(h0)
+	var parents map[uint64]edge
+	if c.TraceEdges {
+		parents = map[uint64]edge{}
 	}
-	parents := map[string]edge{}
-	visited := map[string]bool{init.key(): true}
-	frontier := []*state{init}
+
+	workers := c.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
 	res := Result{States: 1}
-	trace := func(k string) string {
+	frontier := []fstate{{init, h0}}
+	for len(frontier) > 0 && len(c.violations) == 0 && !res.Truncated {
+		if len(frontier) > res.PeakFrontier {
+			res.PeakFrontier = len(frontier)
+		}
+		w := workers
+		if w > len(frontier) {
+			w = len(frontier)
+		}
+		outs := make([]workerOut, w)
+		if w == 1 {
+			outs[0] = c.expandChunk(frontier, visited, parents)
+		} else {
+			var wg sync.WaitGroup
+			per := (len(frontier) + w - 1) / w
+			for i := 0; i < w; i++ {
+				lo := i * per
+				hi := lo + per
+				if lo > len(frontier) {
+					lo = len(frontier)
+				}
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				wg.Add(1)
+				go func(i, lo, hi int) {
+					defer wg.Done()
+					outs[i] = c.expandChunk(frontier[lo:hi], visited, parents)
+				}(i, lo, hi)
+			}
+			wg.Wait()
+		}
+
+		var next []fstate
+		for i := range outs {
+			o := &outs[i]
+			res.Transitions += o.transitions
+			res.Explored += o.explored
+			res.Terminals += o.terminals
+			for _, v := range o.violations {
+				if len(c.violations) < maxViolations {
+					c.violations = append(c.violations, v)
+				}
+			}
+			for _, d := range o.deadlocks {
+				if len(c.deadlocks) < maxDeadlocks {
+					c.deadlocks = append(c.deadlocks, d)
+				}
+			}
+			for _, cd := range o.cand {
+				if res.Truncated || !visited.Add(cd.h) {
+					continue
+				}
+				res.States++
+				if parents != nil {
+					parents[cd.h] = edge{parent: cd.parent, label: cd.label}
+				}
+				next = append(next, fstate{cd.s, cd.h})
+				if res.States >= c.MaxStates {
+					res.Truncated = true
+				}
+			}
+		}
+		frontier = next
+	}
+	res.Canonical = res.States
+	res.Violations = c.violations
+	res.Deadlocks = c.deadlocks
+	return res
+}
+
+// expandChunk runs the transition relation over one slice of the frontier.
+// It works on a shallow copy of the Checker so invariant failures collect
+// into a worker-local slice; visited and parents are only read (the merge
+// phase is the sole writer, between levels).
+func (c *Checker) expandChunk(chunk []fstate, visited *hashSet, parents map[uint64]edge) workerOut {
+	wc := *c
+	wc.violations = nil
+	wc.deadlocks = nil
+	var out workerOut
+	trace := func(h uint64) string {
+		if parents == nil {
+			return "(traces disabled)"
+		}
 		var labels []string
 		for {
-			e, ok := parents[k]
+			e, ok := parents[h]
 			if !ok {
 				break
 			}
 			labels = append(labels, e.label)
-			k = e.parent
+			h = e.parent
 		}
-		out := ""
+		s := ""
 		for i := len(labels) - 1; i >= 0; i-- {
-			out += labels[i] + "; "
+			s += labels[i] + "; "
 		}
-		return out
+		return s
 	}
-	for len(frontier) > 0 && res.States < c.MaxStates && len(c.violations) == 0 {
-		s := frontier[0]
-		frontier = frontier[1:]
-		sk := s.key()
-		vpre := len(c.violations)
-		succs := c.successors(s)
-		for i := vpre; i < len(c.violations); i++ {
-			c.violations[i] += "\n  trace: " + trace(sk)
+	for _, f := range chunk {
+		out.explored++
+		vpre := len(wc.violations)
+		succs := wc.successors(f.s)
+		for i := vpre; i < len(wc.violations); i++ {
+			wc.violations[i] += "\n  trace: " + trace(f.h)
 		}
 		if len(succs) == 0 {
-			if c.isTerminal(s) {
-				res.Terminals++
-				c.checkTerminal(s)
-			} else if len(c.deadlocks) < 2 {
-				c.deadlocks = append(c.deadlocks, c.describe(s)+"\n  trace: "+trace(sk))
+			if wc.isTerminal(f.s) {
+				out.terminals++
+				tpre := len(wc.violations)
+				wc.checkTerminal(f.s)
+				for i := tpre; i < len(wc.violations); i++ {
+					wc.violations[i] += "\n  trace: " + trace(f.h)
+				}
+			} else if len(wc.deadlocks) < maxDeadlocks {
+				wc.deadlocks = append(wc.deadlocks, wc.describe(f.s)+"\n  trace: "+trace(f.h))
 			}
 			continue
 		}
 		for _, ns := range succs {
-			res.Transitions++
-			pre := len(c.violations)
-			c.checkInvariants(ns.s)
-			k := ns.s.key()
-			if len(c.violations) > pre {
-				c.violations[len(c.violations)-1] += "\n  trace: " + trace(sk) + ns.label
+			out.transitions++
+			pre := len(wc.violations)
+			wc.checkInvariants(ns.s)
+			if len(wc.violations) > pre {
+				wc.violations[len(wc.violations)-1] += "\n  trace: " + trace(f.h) + ns.label
 			}
-			if !visited[k] {
-				visited[k] = true
-				parents[k] = edge{parent: sk, label: ns.label}
-				res.States++
-				frontier = append(frontier, ns.s)
+			h := wc.canonicalHash(ns.s)
+			if visited.Contains(h) {
+				continue
 			}
+			out.cand = append(out.cand, candidate{s: ns.s, h: h, parent: f.h, label: ns.label})
 		}
 	}
-	res.Violations = c.violations
-	res.Deadlocks = c.deadlocks
-	return res
+	out.violations = wc.violations
+	out.deadlocks = wc.deadlocks
+	return out
 }
 
 func (c *Checker) isTerminal(s *state) bool {
@@ -388,37 +599,31 @@ func (c *Checker) isTerminal(s *state) bool {
 			return false
 		}
 	}
-	for n := 0; n < nodes; n++ {
-		for d := 0; d < 4; d++ {
-			if len(s.chans[n][d]) > 0 {
-				return false
-			}
+	for _, q := range s.chans {
+		if len(q) > 0 {
+			return false
 		}
-		if len(s.nicq[n]) > 0 {
+	}
+	for _, q := range s.nicq {
+		if len(q) > 0 {
 			return false
 		}
 	}
 	return len(s.homeq) == 0 && len(s.pendq) == 0 && !s.pend
 }
 
-func (c *Checker) fail(format string, args ...interface{}) {
-	if len(c.violations) < 10 {
-		c.violations = append(c.violations, fmt.Sprintf(format, args...))
-	}
-}
-
 func (c *Checker) describe(s *state) string {
 	out := ""
-	for n := 0; n < nodes; n++ {
+	for n := 0; n < c.nodes; n++ {
 		t := &s.lines[n]
 		if t.Valid {
 			out += fmt.Sprintf("n%d{links=%v root=%d isRoot=%v touched=%v lv=%v} ", n, t.Links, t.RootDir, t.IsRoot, t.Touched, t.LocalV)
 		}
 	}
 	var msgs []string
-	for n := 0; n < nodes; n++ {
+	for n := 0; n < c.nodes; n++ {
 		for d := 0; d < 4; d++ {
-			for _, m := range s.chans[n][d] {
+			for _, m := range s.chans[n*4+d] {
 				msgs = append(msgs, fmt.Sprintf("%s@%d->%d", msgNames[m.Type], n, d))
 			}
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mcheck
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package mcheck
+
+// raceEnabled lets tests skip explorations whose state counts are sized
+// for the plain build; the race detector multiplies their cost ~10x.
+const raceEnabled = true

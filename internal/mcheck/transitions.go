@@ -16,7 +16,9 @@ import "fmt"
 // Router processing is a faithful port of internal/treecc's Route /
 // processTeardown / processAck logic minus the capacity machinery (no
 // conflict evictions, so no stalls and no timeout recovery), which matches
-// the backbone the paper verified in Murφ.
+// the backbone the paper verified in Murφ. The Mut hooks inject the
+// deliberate bugs of the mutation suite; with Mut == 0 the relation is the
+// clean protocol.
 
 // succ is one labeled transition.
 type succ struct {
@@ -68,22 +70,22 @@ func (c *Checker) successors(s *state) []succ {
 	}
 
 	// 2. Channel deliveries.
-	for n := 0; n < nodes; n++ {
+	for n := 0; n < c.nodes; n++ {
 		for d := 0; d < 4; d++ {
-			if len(s.chans[n][d]) == 0 {
+			if len(s.chans[n*4+d]) == 0 {
 				continue
 			}
-			nb := neighbor(n, d)
+			nb := c.neighbor(n, d)
 			ns := s.clone()
-			m := ns.chans[n][d][0]
-			ns.chans[n][d] = ns.chans[n][d][1:]
+			m := ns.chans[n*4+d][0]
+			ns.chans[n*4+d] = ns.chans[n*4+d][1:]
 			c.route(ns, nb, m, opposite(d))
 			out = append(out, succ{ns, fmt.Sprintf("dlv %s %d->%d", msgNames[m.Type], n, nb)})
 		}
 	}
 
 	// 3. NIC services.
-	for n := 0; n < nodes; n++ {
+	for n := 0; n < c.nodes; n++ {
 		if len(s.nicq[n]) == 0 {
 			continue
 		}
@@ -97,7 +99,7 @@ func (c *Checker) successors(s *state) []succ {
 }
 
 func send(s *state, node, dir int, m msg) {
-	s.chans[node][dir] = append(s.chans[node][dir], m)
+	s.chans[node*4+dir] = append(s.chans[node*4+dir], m)
 }
 
 // route runs the router kernel for m at node; arrival is the inbound link
@@ -130,7 +132,7 @@ func (c *Checker) routeRead(s *state, node int, m msg) {
 		}
 	}
 	if node == c.Home {
-		if s.pend {
+		if s.pend && !c.has(MutDoubleGrant) {
 			s.pendq = append(s.pendq, m)
 			return
 		}
@@ -148,13 +150,13 @@ func (c *Checker) routeRead(s *state, node int, m msg) {
 		s.nicq[node] = append(s.nicq[node], m)
 		return
 	}
-	send(s, node, xyTo(node, c.Home), m)
+	send(s, node, c.xyTo(node, c.Home), m)
 }
 
 func (c *Checker) routeWrite(s *state, node int, m msg) {
 	t := &s.lines[node]
 	if node == c.Home {
-		if s.pend {
+		if s.pend && !c.has(MutDoubleGrant) {
 			s.pendq = append(s.pendq, m)
 			return
 		}
@@ -182,7 +184,7 @@ func (c *Checker) routeWrite(s *state, node int, m msg) {
 	if t.Valid && !t.Touched {
 		c.teardown(s, node, dirNone, false)
 	}
-	send(s, node, xyTo(node, c.Home), m)
+	send(s, node, c.xyTo(node, c.Home), m)
 }
 
 // revert turns a reply back into a request at node, releasing the
@@ -263,7 +265,7 @@ func (c *Checker) routeReply(s *state, node int, m msg, arrival int) {
 		c.revert(s, node, m, arrival)
 		return
 	}
-	out := xyTo(node, req)
+	out := c.xyTo(node, req)
 	if t.Valid && !t.Touched {
 		if !m.Root {
 			if m.Built && arrival != dirNone && !t.Links[arrival] {
@@ -331,30 +333,17 @@ func (c *Checker) routeReply(s *state, node int, m msg, arrival int) {
 
 func (c *Checker) closer(s *state, node, target int) (int, bool) {
 	t := &s.lines[node]
-	cur := dist(node, target)
+	cur := c.dist(node, target)
 	for d := 0; d < 4; d++ {
 		if !t.Links[d] {
 			continue
 		}
-		nb := neighbor(node, d)
-		if nb >= 0 && dist(nb, target) < cur {
+		nb := c.neighbor(node, d)
+		if nb >= 0 && c.dist(nb, target) < cur {
 			return d, true
 		}
 	}
 	return dirNone, false
-}
-
-func dist(a, b int) int {
-	ax, ay := a%meshW, a/meshW
-	bx, by := b%meshW, b/meshW
-	dx, dy := ax-bx, ay-by
-	if dx < 0 {
-		dx = -dx
-	}
-	if dy < 0 {
-		dy = -dy
-	}
-	return dx + dy
 }
 
 // releasePend lifts the home-serve marker and re-routes the queued
@@ -369,7 +358,7 @@ func (c *Checker) releasePend(s *state) {
 }
 
 func (c *Checker) invalidateData(s *state, node int) {
-	if s.data[node] == dModified && s.dver[node] > s.memV {
+	if s.data[node] == dModified && s.dver[node] > s.memV && !c.has(MutLostWriteback) {
 		s.memV = s.dver[node]
 	}
 	s.data[node] = dInvalid
@@ -383,7 +372,7 @@ func (c *Checker) teardown(s *state, node, arrival int, _ bool) {
 		return
 	}
 	t.Touched = true
-	if t.LocalV {
+	if t.LocalV && !c.has(MutSkipInvalidate) {
 		c.invalidateData(s, node)
 		t.LocalV = false
 	}
@@ -392,7 +381,15 @@ func (c *Checker) teardown(s *state, node, arrival int, _ bool) {
 			send(s, node, d, msg{Type: mTeardown, Op: -1})
 		}
 	}
-	if t.Anchored && !c.DisableAckHold {
+	if node == c.Home && c.has(MutEarlyHomeRelease) {
+		// Wrong teardown order: the home declares the teardown done the
+		// moment its own line is touched, without waiting for the
+		// subtree to collapse and acknowledge.
+		*t = treeLine{RootDir: dirNone}
+		c.teardownComplete(s)
+		return
+	}
+	if t.Anchored && !c.ackHoldOff() {
 		// Hold the acknowledgment until the pending completion lands
 		// (outstanding-request bit).
 		return
@@ -405,7 +402,9 @@ func (c *Checker) teardown(s *state, node, arrival int, _ bool) {
 		}
 	case n == 1 && node != c.Home:
 		d := t.onlyLink()
-		send(s, node, d, msg{Type: mTdAck, Op: -1})
+		if !c.has(MutDropTdAck) {
+			send(s, node, d, msg{Type: mTdAck, Op: -1})
+		}
 		*t = treeLine{RootDir: dirNone}
 	}
 }
@@ -428,7 +427,7 @@ func (c *Checker) ack(s *state, node, arrival int, m msg) {
 		}
 		t.Links[arrival] = false
 	}
-	if t.Anchored && !c.DisableAckHold {
+	if t.Anchored && !c.ackHoldOff() {
 		return
 	}
 	c.collapse(s, node)
@@ -448,7 +447,9 @@ func (c *Checker) collapse(s *state, node int) {
 		*t = treeLine{RootDir: dirNone}
 	case 1:
 		d := t.onlyLink()
-		send(s, node, d, msg{Type: mTdAck, Op: -1})
+		if !c.has(MutDropTdAck) {
+			send(s, node, d, msg{Type: mTdAck, Op: -1})
+		}
 		*t = treeLine{RootDir: dirNone}
 	}
 }
@@ -473,7 +474,9 @@ func (c *Checker) nicServe(s *state, node int, m msg) {
 		if t.Valid && !t.Touched && t.LocalV {
 			// Sharer serve: a dirty line writes back (M -> S).
 			if s.data[node] == dModified {
-				s.memV = s.dver[node]
+				if !c.has(MutLostWriteback) {
+					s.memV = s.dver[node]
+				}
 				s.data[node] = dShared
 			}
 			v := s.dver[node]
@@ -500,7 +503,7 @@ func (c *Checker) nicServe(s *state, node int, m msg) {
 		}
 		c.route(s, node, msg{Type: mWrReply, Op: m.Op, Root: true}, dirNone)
 	case mRdReply:
-		if t.Valid && !t.Touched && (t.Anchored || c.DisableAnchor) {
+		if t.Valid && !t.Touched && (t.Anchored || c.anchorOff()) {
 			s.data[node] = dShared
 			s.dver[node] = m.Ver
 			t.LocalV = true
@@ -514,7 +517,7 @@ func (c *Checker) nicServe(s *state, node int, m msg) {
 		s.wrote++
 		v := s.wrote
 		c.checkSoleCopy(s, node)
-		if t.Valid && !t.Touched && (t.Anchored || c.DisableAnchor) {
+		if t.Valid && !t.Touched && (t.Anchored || c.anchorOff()) {
 			s.data[node] = dModified
 			s.dver[node] = v
 			t.LocalV = true

@@ -1,0 +1,80 @@
+package mcheck
+
+// hashSet is an open-addressing set of 64-bit state hashes, sized for tens
+// of millions of entries: 8 bytes per slot at ≤75% load, no per-entry
+// boxing, no rehash of keys (the stored value is the hash). Zero is the
+// empty-slot sentinel; a genuine zero hash is remapped to a fixed odd
+// constant, which folds it into that constant's class — indistinguishable
+// from any other 64-bit collision the scheme already accepts.
+type hashSet struct {
+	slots []uint64
+	n     int
+	mask  uint64
+}
+
+const zeroHashStandin = 0x9e3779b97f4a7c15
+
+func newHashSet(capacity int) *hashSet {
+	size := 16
+	for size < capacity*2 {
+		size <<= 1
+	}
+	return &hashSet{slots: make([]uint64, size), mask: uint64(size - 1)}
+}
+
+func (h *hashSet) Len() int { return h.n }
+
+// Contains reports membership. Safe for concurrent readers as long as no
+// writer runs (the BFS only calls Add between levels).
+func (h *hashSet) Contains(v uint64) bool {
+	if v == 0 {
+		v = zeroHashStandin
+	}
+	for i := v & h.mask; ; i = (i + 1) & h.mask {
+		s := h.slots[i]
+		if s == 0 {
+			return false
+		}
+		if s == v {
+			return true
+		}
+	}
+}
+
+// Add inserts v and reports whether it was absent.
+func (h *hashSet) Add(v uint64) bool {
+	if v == 0 {
+		v = zeroHashStandin
+	}
+	for i := v & h.mask; ; i = (i + 1) & h.mask {
+		s := h.slots[i]
+		if s == v {
+			return false
+		}
+		if s == 0 {
+			h.slots[i] = v
+			h.n++
+			if uint64(h.n)*4 > uint64(len(h.slots))*3 {
+				h.grow()
+			}
+			return true
+		}
+	}
+}
+
+func (h *hashSet) grow() {
+	old := h.slots
+	h.slots = make([]uint64, len(old)*2)
+	h.mask = uint64(len(h.slots) - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		for i := v & h.mask; ; i = (i + 1) & h.mask {
+			if h.slots[i] == 0 {
+				h.slots[i] = v
+				break
+			}
+		}
+	}
+}

@@ -189,7 +189,7 @@ func newMachine(spec Spec) (*Machine, error) {
 		Cfg:        cfg,
 		Kernel:     k,
 		Mem:        memory.New(cfg.MemLatency),
-		Check:      verify.New(false),
+		Check:      verify.New(spec.KeepOrder),
 		HomeCounts: make([]int64, cfg.Nodes()),
 		Metrics:    spec.Metrics,
 		think:      think,

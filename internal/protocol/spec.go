@@ -148,6 +148,12 @@ type Spec struct {
 	// through Config so it can run with or without injection.
 	Faults *fault.Plan
 
+	// KeepOrder retains the verifier's full total order of committed
+	// accesses (verify.Checker.Order), which the litmus harness replays
+	// through the linearization witness. Costs memory proportional to the
+	// access count; experiment runs leave it off.
+	KeepOrder bool
+
 	// HangDumpPath, when non-empty, is the file Run writes the hang dump
 	// to (stuck report, per-router queue occupancy, flight-recorder
 	// tail) if the run fails to quiesce. It is diagnostic output only

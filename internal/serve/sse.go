@@ -51,13 +51,27 @@ func (s *Server) Subscribe(id string) (<-chan Event, func(), error) {
 
 // publishLocked fans an event out to the job's subscribers. Callers hold
 // s.mu. Slow subscribers lose events (non-blocking send): progress is a
-// telemetry stream, not a transactional log, and the terminal state is
-// always recoverable from the record.
+// telemetry stream, not a transactional log. The exception is a terminal
+// state event — Subscribe promises it precedes the channel close — so a
+// full buffer has its oldest queued telemetry evicted to make room.
+// Eviction is safe: senders serialize on s.mu, so after freeing a slot
+// the send cannot find the buffer full again.
 func (s *Server) publishLocked(js *jobState, ev Event) {
+	terminal := ev.Type == "state" && ev.Record != nil && ev.Record.Terminal()
 	for _, ch := range js.subs {
 		select {
 		case ch <- ev:
 		default:
+			if terminal {
+				select {
+				case <-ch:
+				default:
+				}
+				select {
+				case ch <- ev:
+				default:
+				}
+			}
 		}
 	}
 }

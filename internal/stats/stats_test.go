@@ -335,6 +335,120 @@ func BenchmarkSamplerAdd(b *testing.B) {
 	}
 }
 
+func TestPercentileEdgeCases(t *testing.T) {
+	// Table-driven edge cases for the nearest-rank percentile: the empty
+	// sampler, a single sample (every percentile is that sample), an
+	// all-equal vector, negative values, and the p boundaries (p<=0 clamps
+	// to the minimum, p=100 and the tiniest positive p stay in range).
+	cases := []struct {
+		name string
+		vals []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"empty p0", nil, 0, 0},
+		{"empty p100", nil, 100, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"single tiny p", []float64{7}, 0.001, 7},
+		{"two p50", []float64{10, 20}, 50, 10},
+		{"two p51", []float64{10, 20}, 51, 20},
+		{"all equal p99", []float64{3, 3, 3, 3}, 99, 3},
+		{"negative values p0", []float64{-5, -1, 4}, 0, -5},
+		{"negative values p100", []float64{-5, -1, 4}, 100, 4},
+		{"unsorted input p50", []float64{9, 1, 5}, 50, 5},
+		{"p above 100 clamps", []float64{1, 2, 3}, 250, 3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sampler
+			for _, v := range tc.vals {
+				s.Add(v)
+			}
+			if got := s.Percentile(tc.p); got != tc.want {
+				t.Fatalf("Percentile(%v) over %v = %v, want %v", tc.p, tc.vals, got, tc.want)
+			}
+			sum := s.Summarize()
+			for _, v := range []float64{sum.Mean, sum.P50, sum.P95, sum.P99} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("summary has non-finite statistic: %+v", sum)
+				}
+			}
+		})
+	}
+}
+
+func TestDeadlockShareNaNFreeUnderFaultCounters(t *testing.T) {
+	// Fault injection can produce degenerate latency ledgers: accesses that
+	// never completed (deadlock cycles charged against a zero base), one
+	// empty class, or huge retry-inflated values. The Table 4 metric must
+	// stay finite in every combination.
+	type rec struct {
+		write    bool
+		latency  int64
+		deadlock int64
+	}
+	cases := []struct {
+		name           string
+		recs           []rec
+		wantR, wantW   float64
+		exactR, exactW bool
+	}{
+		{name: "all empty", wantR: 0, wantW: 0, exactR: true, exactW: true},
+		{
+			// Deadlock cycles with no completed access of that class:
+			// share is defined as 0, not Inf/NaN.
+			name:  "deadlock without base latency",
+			recs:  []rec{{write: false, latency: 0, deadlock: 40}},
+			wantR: 0, exactR: true, wantW: 0, exactW: true,
+		},
+		{
+			name:  "reads only",
+			recs:  []rec{{write: false, latency: 200, deadlock: 50}},
+			wantR: 25, exactR: true, wantW: 0, exactW: true,
+		},
+		{
+			name:  "writes only",
+			recs:  []rec{{write: true, latency: 1000, deadlock: 10}},
+			wantR: 0, exactR: true, wantW: 1, exactW: true,
+		},
+		{
+			name: "retry-inflated tail",
+			recs: []rec{
+				{write: false, latency: 1 << 40, deadlock: 1 << 39},
+				{write: true, latency: 3, deadlock: 1 << 41},
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var l LatencyStats
+			for _, r := range tc.recs {
+				if r.latency > 0 {
+					l.Record(r.write, r.latency)
+				}
+				if r.deadlock > 0 {
+					l.RecordDeadlock(r.write, r.deadlock)
+				}
+			}
+			rp, wp := l.DeadlockShare()
+			if math.IsNaN(rp) || math.IsInf(rp, 0) || math.IsNaN(wp) || math.IsInf(wp, 0) {
+				t.Fatalf("non-finite deadlock share: read %v write %v", rp, wp)
+			}
+			if tc.exactR && rp != tc.wantR {
+				t.Fatalf("read share %v, want %v", rp, tc.wantR)
+			}
+			if tc.exactW && wp != tc.wantW {
+				t.Fatalf("write share %v, want %v", wp, tc.wantW)
+			}
+		})
+	}
+}
+
 func TestSamplerPercentileMonotoneProperty(t *testing.T) {
 	err := quick.Check(func(xs []int16) bool {
 		if len(xs) == 0 {

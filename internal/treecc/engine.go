@@ -51,6 +51,11 @@ type Engine struct {
 	// node's tree cache, so per-node counters — which sharded ticking
 	// requires — stamp equivalently to the old global counter.
 	genCounters []uint64
+
+	// Bugs is the seeded-defect mask (see Bug). Zero — the only value
+	// anything outside the litmus/mutation test harnesses ever uses —
+	// leaves the protocol unmodified.
+	Bugs Bug
 }
 
 func init() {
@@ -213,7 +218,9 @@ func (e *Engine) serveRead(node int, msg *protocol.Msg) {
 		}
 		if dl.State == protocol.Modified {
 			// MSI: a read of a dirty line writes it back (M -> S).
-			e.m.Mem.Writeback(addr, dl.Version)
+			if !e.hasBug(BugLostWriteback) {
+				e.m.Mem.Writeback(addr, dl.Version)
+			}
 			dl.State = protocol.Shared
 		}
 		e.m.Check.SampleRead(addr, dl.Version, e.m.Mem.Peek(addr), msg.Requester, now)
@@ -293,7 +300,7 @@ func (e *Engine) injectHomeReply(home int, req *protocol.Msg, t protocol.MsgType
 func (e *Engine) finishRead(node int, msg *protocol.Msg) {
 	now := e.m.Kernel.Now()
 	e.debugf(msg.Addr, "finishRead at n%d v=%d", node, msg.Version)
-	if e.m.DropStaleReply(node, msg) {
+	if !e.hasBug(BugAcceptStaleReply) && e.m.DropStaleReply(node, msg) {
 		e.dropStale(node, msg)
 		return
 	}
@@ -352,7 +359,7 @@ func (e *Engine) releaseHeldAck(node int, addr uint64) {
 func (e *Engine) finishWrite(node int, msg *protocol.Msg) {
 	now := e.m.Kernel.Now()
 	e.debugf(msg.Addr, "finishWrite at n%d", node)
-	if e.m.DropStaleReply(node, msg) {
+	if !e.hasBug(BugAcceptStaleReply) && e.m.DropStaleReply(node, msg) {
 		e.dropStale(node, msg)
 		return
 	}
@@ -367,7 +374,9 @@ func (e *Engine) finishWrite(node int, msg *protocol.Msg) {
 		// system never holds unanchored dirty data. The held
 		// acknowledgment below guarantees this commit serialized
 		// before the teardown completed at the home node.
-		e.m.Mem.Writeback(msg.Addr, v)
+		if !e.hasBug(BugLostWriteback) {
+			e.m.Mem.Writeback(msg.Addr, v)
+		}
 		e.m.Counters.Inc("tree.uncached_completions", 1)
 		e.releaseHeldAck(node, msg.Addr)
 	}

@@ -133,7 +133,7 @@ func (e *Engine) routeReadReq(r *network.Router, p *network.Packet, msg *protoco
 		// from proactive eviction.
 	}
 	if n == home {
-		if _, pend := e.pending[n][addr]; pend {
+		if _, pend := e.pending[n][addr]; pend && !e.hasBug(BugDoubleGrant) {
 			e.queueOnPending(addr, msg)
 			return network.Steer{Consume: true}
 		}
@@ -177,7 +177,7 @@ func (e *Engine) routeWriteReq(r *network.Router, p *network.Packet, msg *protoc
 		}
 	}
 	if n == home {
-		if _, pend := e.pending[n][addr]; pend {
+		if _, pend := e.pending[n][addr]; pend && !e.hasBug(BugDoubleGrant) {
 			e.queueOnPending(addr, msg)
 			return network.Steer{Consume: true}
 		}

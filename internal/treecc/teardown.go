@@ -77,7 +77,7 @@ func (e *Engine) processTeardown(node int, addr uint64, arrival network.Dir, cle
 	e.m.Metrics.Event(e.m.Kernel.Now(), metrics.EvTeardown, int16(node), addr, int64(line.LinkCount()))
 	// Invalidate the local data copy (D$: -> Invalid); the root's data is
 	// captured for victim caching at the home node.
-	if line.LocalValid {
+	if line.LocalValid && !e.hasBug(BugSkipInvalidate) {
 		dl, had := e.m.InvalidateLine(node, addr, e.m.Kernel.Now())
 		line.LocalValid = false
 		if had && line.IsRoot {
@@ -90,7 +90,14 @@ func (e *Engine) processTeardown(node int, addr uint64, arrival network.Dir, cle
 			spawns = append(spawns, e.hopMsg(node, protocol.Teardown, addr, network.Dir(d)))
 		}
 	}
-	if line.OutstandingReq {
+	if e.hasBug(BugEarlyHomeRelease) && node == e.home(addr) && line.LinkCount() > 0 {
+		// Seeded defect: the home declares the tree gone the moment its
+		// teardowns fan out, while outer nodes still hold valid data.
+		e.trees[node].Invalidate(addr)
+		e.teardownComplete(addr)
+		return spawns
+	}
+	if line.OutstandingReq && !e.hasBug(BugDropAckHold) {
 		// The local node's reply is completing above the network
 		// (outstanding-request bit, Figure 4): the line participates
 		// in the teardown but holds its acknowledgment until the
@@ -110,7 +117,9 @@ func (e *Engine) processTeardown(node int, addr uint64, arrival network.Dir, cle
 		// Leaf (the paper's rule), or a single-link initiator whose
 		// chasing ack follows the teardown on the same FIFO link.
 		d := line.OnlyLink()
-		spawns = append(spawns, e.hopMsg(node, protocol.TdAck, addr, d))
+		if !e.hasBug(BugDropTdAck) {
+			spawns = append(spawns, e.hopMsg(node, protocol.TdAck, addr, d))
+		}
 		line.Links[d] = false
 		e.trees[node].Invalidate(addr)
 	}
@@ -152,7 +161,7 @@ func (e *Engine) processAck(node int, addr uint64, arrival network.Dir, unlink b
 		line.Links[arrival] = false
 	}
 	e.debugf(addr, "ack at n%d arrival=%v links now %v", node, arrival, line.Links)
-	if line.OutstandingReq {
+	if line.OutstandingReq && !e.hasBug(BugDropAckHold) {
 		// Collapse is held until the local completion lands.
 		return nil
 	}
@@ -178,6 +187,9 @@ func (e *Engine) collapse(node int, addr uint64, line *TreeLine) []*network.Pack
 		d := line.OnlyLink()
 		line.Links[d] = false
 		e.trees[node].Invalidate(addr)
+		if e.hasBug(BugDropTdAck) {
+			return nil
+		}
 		return []*network.Packet{e.hopMsg(node, protocol.TdAck, addr, d)}
 	}
 	return nil

@@ -26,6 +26,27 @@ go test ./internal/trace -fuzz '^FuzzRead$' -fuzztime 10s
 # over the committed corpus (internal/fault/testdata/fuzz/FuzzParseSpec).
 go test ./internal/fault -fuzz '^FuzzParseSpec$' -fuzztime 5s
 
+# Litmus smoke under the race detector: a fixed-seed campaign of generated
+# conflict programs on both engines, clean and under a drop plan with
+# recovery armed (the command exits non-zero on any oracle failure), then a
+# mutation campaign that MUST fail — the pipeline has to catch a seeded
+# protocol defect, shrink it, and write a reproducer that replays.
+go run -race ./cmd/innetcc -litmus 25 -jobs 2 >/dev/null
+go run -race ./cmd/innetcc -litmus 25 -jobs 2 \
+    -faults 'drop=5000,timeout=4000,retries=8,backoff=32,probe=100' >/dev/null
+LITMUS_OUT=$(mktemp -d)
+if go run -race ./cmd/innetcc -litmus 4 -litmus-engine tree \
+    -litmus-bug skip-invalidate -litmus-out "$LITMUS_OUT" >/dev/null 2>&1; then
+    echo "litmus mutation campaign failed to detect the seeded defect" >&2
+    exit 1
+fi
+REPRO=$(ls "$LITMUS_OUT"/litmus-*.json | head -1)
+go run -race ./cmd/innetcc -litmus-replay "$REPRO" | grep -q '^reproduced:'
+
+# Litmus-program fuzz smoke: coverage-guided conflict programs through the
+# full simulator's oracle battery on both engines (internal/litmus).
+go test -race ./internal/litmus -fuzz '^FuzzLitmusProgram$' -fuzztime 10s
+
 # Fault smoke under the race detector: one seeded drop plan per engine must
 # recover to a coherent end state, and a watchdog trip must produce the
 # flight-recorder dump (TestWatchdogTripDumpsFlightRecorder asserts the
