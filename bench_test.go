@@ -19,6 +19,7 @@ import (
 	"innetcc/internal/cacti"
 	"innetcc/internal/experiments"
 	"innetcc/internal/mcheck"
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
 
@@ -46,7 +47,7 @@ func kernelMeshRun(b *testing.B, alwaysTick bool) {
 	}
 	p.Think = 200 // long think time = low injection rate, the idle-heavy regime
 	cfg := protocol.DefaultConfig()
-	cfg.MeshW, cfg.MeshH = 8, 8
+	cfg.Topology = network.MeshSpec(8, 8)
 	cfg.Seed = 42
 	tr := trace.Generate(p, cfg.Nodes(), 120, cfg.Seed)
 	b.ResetTimer()
@@ -90,7 +91,7 @@ func BenchmarkParallelMesh(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := protocol.DefaultConfig()
-	cfg.MeshW, cfg.MeshH = 16, 16
+	cfg.Topology = network.MeshSpec(16, 16)
 	cfg.Seed = 42
 	tr := trace.Generate(p, cfg.Nodes(), 40, cfg.Seed)
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -110,6 +111,48 @@ func BenchmarkParallelMesh(b *testing.B) {
 				cycles = m.Kernel.Now()
 			}
 			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkTopologyMulticast measures hardware multicast on the directory
+// protocol: the same wsp trace (the heaviest-sharing profile) on an 8x8
+// torus, invalidation rounds sent as one unicast packet per sharer versus
+// one router-forked multicast packet per round. CI's bench-smoke step
+// records both inv-packets metrics in BENCH_topology.json; their ratio is
+// the fabric's invalidation-traffic saving.
+func BenchmarkTopologyMulticast(b *testing.B) {
+	p, err := trace.ProfileByName("wsp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := protocol.DefaultConfig()
+	cfg.Topology = network.TorusSpec(8, 8)
+	cfg.Seed = 42
+	tr := trace.Generate(p, cfg.Nodes(), 150, cfg.Seed)
+	for _, multicast := range []bool{false, true} {
+		name := "Unicast"
+		if multicast {
+			name = "Multicast"
+		}
+		b.Run(name, func(b *testing.B) {
+			var pkts int64
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Multicast = multicast
+				m, err := protocol.Build(protocol.Spec{
+					Config: c, Trace: tr, Think: p.Think,
+					Engine: protocol.KindDirectory,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Run(200_000_000); err != nil {
+					b.Fatal(err)
+				}
+				pkts = m.Counters.Get("dir.inv_packets")
+			}
+			b.ReportMetric(float64(pkts), "inv-packets")
 		})
 	}
 }

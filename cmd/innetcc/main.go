@@ -53,6 +53,7 @@ import (
 
 	"innetcc/internal/experiments"
 	"innetcc/internal/mcheck"
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 )
 
@@ -96,6 +97,8 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0, "hang watchdog window in cycles: fail a run making no progress for this long (0 = off)")
 	retries := flag.Int("retries", 0, "re-run a transiently failed job (hang, retry budget) this many times with derived sub-seeds")
 	shards := flag.Int("shards", 0, "worker shards per simulation (0/1 = serial); results are identical at any setting")
+	topology := flag.String("topology", "", "fabric override for every simulation: mesh:WxH, torus:WxH or ring:N (empty = each experiment's default mesh)")
+	multicast := flag.Bool("multicast", false, "enable hardware multicast: directory invalidation rounds and tree teardown fan-outs ride single router-forked packets")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 
@@ -107,7 +110,7 @@ func main() {
 	flag.StringVar(&lf.out, "litmus-out", "", "litmus: write reproducer spec files for failing runs into this directory")
 	flag.StringVar(&lf.replay, "litmus-replay", "", "replay a saved litmus reproducer spec file and report the oracle outcome")
 
-	flag.StringVar(&mcheckMesh, "mcheck-mesh", "2x2", "mcheck: mesh size WxH for the model-checking run")
+	flag.StringVar(&mcheckMesh, "mcheck-mesh", "2x2", "mcheck: fabric for the model-checking run — WxH or mesh:WxH, torus:WxH, ring:N")
 	flag.IntVar(&mcheckWorkers, "mcheck-workers", 0, "mcheck: parallel BFS workers (0 = all cores, 1 = serial); counts identical at any setting")
 
 	var sf serveFlags
@@ -161,7 +164,7 @@ func main() {
 		return
 	}
 	if sf.client != "" {
-		if err := runClient(os.Stdout, sf, *accesses, *seed, *faults, *retries, *shards, *metricsOn); err != nil {
+		if err := runClient(os.Stdout, sf, *accesses, *seed, *faults, *retries, *shards, *metricsOn, *topology, *multicast); err != nil {
 			fmt.Fprintln(os.Stderr, "innetcc:", err)
 			os.Exit(1)
 		}
@@ -191,6 +194,8 @@ func main() {
 		Faults:            *faults,
 		Watchdog:          *watchdog,
 		Retries:           *retries,
+		Topology:          *topology,
+		Multicast:         *multicast,
 	}.WithDefaults()
 	if err := opt.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "innetcc:", err)
@@ -399,9 +404,13 @@ var (
 )
 
 func runMCheck(w io.Writer, _ experiments.Options) error {
-	var mw, mh int
-	if _, err := fmt.Sscanf(mcheckMesh, "%dx%d", &mw, &mh); err != nil || mw < 2 || mh < 1 {
-		return fmt.Errorf("mcheck: bad -mcheck-mesh %q (want WxH, e.g. 2x2 or 3x3)", mcheckMesh)
+	ts, err := network.ParseTopoSpec(mcheckMesh)
+	if err != nil {
+		return fmt.Errorf("mcheck: bad -mcheck-mesh %q (want WxH, mesh:WxH, torus:WxH or ring:N)", mcheckMesh)
+	}
+	topo := ts.Build()
+	if topo.Nodes() < 4 {
+		return fmt.Errorf("mcheck: fabric %s too small for the default program (needs >= 4 nodes)", ts)
 	}
 	workers := mcheckWorkers
 	if workers <= 0 {
@@ -409,11 +418,11 @@ func runMCheck(w io.Writer, _ experiments.Options) error {
 	}
 	home, ops := mcheck.DefaultProgram()
 	fmt.Fprintln(w, "Section 2.4 — exhaustive model checking of the reduced protocol")
-	c := mcheck.NewMesh(mw, mh, home, ops)
+	c := mcheck.NewTopology(topo, home, ops)
 	c.Workers = workers
 	res := c.Run()
-	fmt.Fprintf(w, "program: 2 concurrent reads + 2 concurrent writes, home=%d, mesh %dx%d, %d worker(s)\n",
-		home, mw, mh, workers)
+	fmt.Fprintf(w, "program: 2 concurrent reads + 2 concurrent writes, home=%d, fabric %s, %d worker(s)\n",
+		home, topo.Spec(), workers)
 	fmt.Fprintf(w, "%v\n", res)
 	for _, v := range res.Violations {
 		fmt.Fprintln(w, "VIOLATION:", v)

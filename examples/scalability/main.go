@@ -17,6 +17,7 @@ import (
 
 	"innetcc/internal/exec"
 	"innetcc/internal/experiments"
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
 )
@@ -32,7 +33,7 @@ func main() {
 		}
 		cfg16 := protocol.DefaultConfig()
 		cfg64 := protocol.DefaultConfig()
-		cfg64.MeshW, cfg64.MeshH = 8, 8
+		cfg64.Topology = network.MeshSpec(8, 8)
 		for _, j := range []exec.Job{
 			{Key: name + "/16/dir", Engine: protocol.KindDirectory, Config: cfg16, Profile: p, Accesses: opt.AccessesPerNode, SuiteSeed: opt.Seed},
 			{Key: name + "/16/tree", Engine: protocol.KindTree, Config: cfg16, Profile: p, Accesses: opt.AccessesPerNode, SuiteSeed: opt.Seed},

@@ -6,10 +6,13 @@
 // L2 that the in-network protocol gets (Section 2.1 gives it to the
 // baseline "to ensure a fair comparison").
 //
-// The network is a pure communication medium here: every packet is routed
-// X-Y to its destination, and all protocol work happens above the network
-// at the NICs, paying the directory-access and ejection/re-injection costs
-// the paper charges the baseline (Section 3.1).
+// The network is a pure communication medium here: every packet follows the
+// fabric's deterministic minimal route to its destination (X-Y on the mesh),
+// and all protocol work happens above the network at the NICs, paying the
+// directory-access and ejection/re-injection costs the paper charges the
+// baseline (Section 3.1). With Config.Multicast armed, invalidation rounds
+// ride single destination-set packets the routers fork in-network instead
+// of one unicast packet per target.
 package directory
 
 import (
@@ -62,8 +65,9 @@ func init() {
 		func(m *protocol.Machine) protocol.Engine { return New(m) })
 }
 
-// New builds the baseline engine on machine m, constructing the mesh with
-// the baseline pipeline depth and plain X-Y routing.
+// New builds the baseline engine on machine m, constructing the fabric from
+// the configured topology with the baseline pipeline depth and plain
+// destination routing.
 func New(m *protocol.Machine) *Engine {
 	cfg := m.Cfg
 	e := &Engine{m: m}
@@ -72,7 +76,12 @@ func New(m *protocol.Machine) *Engine {
 		e.pendingInval = append(e.pendingInval, make(map[uint64]bool))
 	}
 	e.parked = make([][]*protocol.Msg, cfg.Nodes())
-	mesh := network.NewMesh(m.Kernel, cfg.MeshW, cfg.MeshH, cfg.BasePipeline, 1, network.XYPolicy{})
+	mesh := network.Build(m.Kernel, network.Config{
+		Topo:     cfg.Topology.Build(),
+		Pipeline: cfg.BasePipeline,
+		Policy:   network.DestPolicy{},
+		Clone:    protocol.CloneMsg,
+	})
 	m.AttachEngine(e, mesh)
 	return e
 }
@@ -179,13 +188,42 @@ func (e *Engine) handleReq(home int, msg *protocol.Msg) {
 	ep.busy = true
 	ep.pendingWr = msg
 	ep.pendingAcks = popcount(targets)
+	e.sendInvs(home, targets, msg.Addr, msg.Requester, now)
+}
+
+// sendInvs delivers an invalidation to every node in the targets bitset.
+// Per-target invalidation metrics (CDirInval, the per-node events) are
+// recorded identically on both paths — the protocol work is the same — but
+// the network traffic differs: without multicast each target costs one
+// unicast Inv packet; with Config.Multicast armed the whole round rides ONE
+// destination-set packet the routers fork at fan-out points. The
+// "dir.inv_packets" counter records injected invalidation packets, which is
+// the quantity hardware multicast shrinks.
+func (e *Engine) sendInvs(home int, targets uint64, addr uint64, requester int, now int64) {
+	var set network.NodeSet
 	for n := 0; n < e.m.Cfg.Nodes(); n++ {
 		if targets&bit(n) != 0 {
 			e.m.Metrics.Add(metrics.CDirInval, 1)
-			e.m.Metrics.Event(now, metrics.EvDirInval, int16(home), msg.Addr, int64(n))
-			e.send(home, n, &protocol.Msg{Type: protocol.Inv, Addr: msg.Addr, Requester: msg.Requester}, now)
+			e.m.Metrics.Event(now, metrics.EvDirInval, int16(home), addr, int64(n))
+			set = set.Add(n)
 		}
 	}
+	count := set.Count()
+	if count == 0 {
+		return
+	}
+	e.m.Counters.Inc("dir.invals", int64(count))
+	if e.m.Cfg.Multicast && count > 1 {
+		e.m.Counters.Inc("dir.inv_packets", 1)
+		p := e.m.NewPacket(home, set.Min(), &protocol.Msg{Type: protocol.Inv, Addr: addr, Requester: requester})
+		p.DstSet = set
+		e.m.Mesh.Inject(home, p, now)
+		return
+	}
+	e.m.Counters.Inc("dir.inv_packets", int64(count))
+	set.ForEach(func(n int) {
+		e.send(home, n, &protocol.Msg{Type: protocol.Inv, Addr: addr, Requester: requester}, now)
+	})
 }
 
 // serveFromHomeOrMemory answers a read for a line with no cached copies:
@@ -443,13 +481,7 @@ func (e *Engine) allocEntry(home int, msg *protocol.Msg) *dirEntry {
 		return nil
 	}
 	vep.pendingAcks = popcount(targets)
-	for n := 0; n < e.m.Cfg.Nodes(); n++ {
-		if targets&bit(n) != 0 {
-			e.m.Metrics.Add(metrics.CDirInval, 1)
-			e.m.Metrics.Event(now, metrics.EvDirInval, int16(home), vaddr, int64(n))
-			e.send(home, n, &protocol.Msg{Type: protocol.Inv, Addr: vaddr}, now)
-		}
-	}
+	e.sendInvs(home, targets, vaddr, 0, now)
 	e.parked[home] = append(e.parked[home], msg)
 	e.queued++
 	return nil

@@ -3,6 +3,7 @@ package directory
 import (
 	"testing"
 
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
 )
@@ -24,7 +25,7 @@ func runTrace(t *testing.T, cfg protocol.Config, tr *trace.Trace, think int64) (
 
 func smallConfig() protocol.Config {
 	cfg := protocol.DefaultConfig()
-	cfg.MeshW, cfg.MeshH = 4, 4
+	cfg.Topology = network.MeshSpec(4, 4)
 	return cfg
 }
 
@@ -257,7 +258,7 @@ func TestQuiescedAfterRun(t *testing.T) {
 
 func Test64NodeRunsClean(t *testing.T) {
 	cfg := smallConfig()
-	cfg.MeshW, cfg.MeshH = 8, 8
+	cfg.Topology = network.MeshSpec(8, 8)
 	p, _ := trace.ProfileByName("bar")
 	tr := trace.Generate(p, 64, 80, 19)
 	m, _ := runTrace(t, cfg, tr, p.Think)

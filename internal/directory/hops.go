@@ -1,9 +1,5 @@
 package directory
 
-import (
-	"innetcc/internal/network"
-)
-
 // recordHops feeds the Section 1 hop-count characterization: for each
 // coherence access at issue time it computes the baseline protocol's hop
 // count and the oracle-ideal hop count given perfect knowledge of where the
@@ -21,9 +17,9 @@ import (
 // (furthest->home then home->requester); otherwise just the
 // requester/home round trip.
 func (e *Engine) recordHops(node int, addr uint64, write bool) {
-	w := e.m.Cfg.MeshW
+	topo := e.m.Mesh.Topo
 	home := e.m.Cfg.Home(addr)
-	dReqHome := network.HopDist(w, node, home)
+	dReqHome := topo.Dist(node, home)
 	ep, ok := e.dirs[home].Peek(addr)
 
 	if !write {
@@ -36,7 +32,7 @@ func (e *Engine) recordHops(node int, addr uint64, write bool) {
 				holder = firstSharer(ep.sharers)
 			}
 			if holder >= 0 {
-				base = dReqHome + network.HopDist(w, home, holder) + network.HopDist(w, holder, node)
+				base = dReqHome + topo.Dist(home, holder) + topo.Dist(holder, node)
 			}
 		}
 		ideal := base
@@ -46,7 +42,7 @@ func (e *Engine) recordHops(node int, addr uint64, write bool) {
 				if c == node {
 					continue
 				}
-				if d := network.HopDist(w, node, c); best < 0 || d < best {
+				if d := topo.Dist(node, c); best < 0 || d < best {
 					best = d
 				}
 			}
@@ -67,7 +63,7 @@ func (e *Engine) recordHops(node int, addr uint64, write bool) {
 		set &^= bit(node)
 		for n := 0; n < e.m.Cfg.Nodes(); n++ {
 			if set&bit(n) != 0 {
-				if d := network.HopDist(w, home, n); d > furthest {
+				if d := topo.Dist(home, n); d > furthest {
 					furthest = d
 				}
 			}

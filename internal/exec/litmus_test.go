@@ -22,11 +22,11 @@ func TestRunLitmusBatchDeterministic(t *testing.T) {
 	// One seeded-defect spec and one malformed spec mixed in.
 	specs = append(specs, litmus.RunSpec{
 		Engine: protocol.KindTree, Seed: 1, Bug: "skip-invalidate",
-		Program: litmus.Program{MeshW: 2, MeshH: 2, Ops: []litmus.Op{
+		Program: litmus.Program{Topology: "mesh:2x2", Ops: []litmus.Op{
 			{Node: 1, Addr: 0}, {Node: 2, Addr: 1}, {Node: 2, Addr: 0, Write: true}}},
 	})
 	specs = append(specs, litmus.RunSpec{Engine: protocol.KindTree, Seed: 1, Faults: "bogus=1",
-		Program: litmus.Program{MeshW: 2, MeshH: 2, Ops: []litmus.Op{{Node: 0, Addr: 0}}}})
+		Program: litmus.Program{Topology: "mesh:2x2", Ops: []litmus.Op{{Node: 0, Addr: 0}}}})
 
 	serial := RunLitmusBatch(context.Background(), 1, specs)
 	if n := len(serial); n != len(specs) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"innetcc/internal/exec"
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 	"innetcc/internal/stats"
 	"innetcc/internal/trace"
@@ -238,7 +239,7 @@ func Figure9(opt Options) ([]PairResult, error) {
 	var jobs []exec.Job
 	for _, p := range benches {
 		cfg := protocol.DefaultConfig()
-		cfg.MeshW, cfg.MeshH = 8, 8
+		cfg.Topology = network.MeshSpec(8, 8)
 		jobs = append(jobs,
 			dirJob("fig9/"+p.Name+"/dir", cfg, p, opt.AccessesPerNode64, opt),
 			treeJob("fig9/"+p.Name+"/tree", cfg, p, opt.AccessesPerNode64, opt))

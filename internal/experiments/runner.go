@@ -19,6 +19,7 @@ import (
 
 	"innetcc/internal/exec"
 	"innetcc/internal/fault"
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 	"innetcc/internal/stats"
 	"innetcc/internal/trace"
@@ -75,6 +76,18 @@ type Options struct {
 	// exec.Job.Retries). Zero means transient failures fail the row on
 	// first occurrence.
 	Retries int
+
+	// Topology, when non-empty, overrides the fabric of every job the
+	// experiment runs ("mesh:4x4", "torus:8x8", "ring:16", ...). Empty
+	// keeps each experiment's own default (the paper's meshes). The
+	// override changes the node count too, so per-node access counts
+	// apply to the new fabric's nodes.
+	Topology string
+
+	// Multicast enables hardware multicast on every job: directory
+	// invalidation rounds and tree teardown fan-outs ride single packets
+	// the routers fork in the fabric.
+	Multicast bool
 }
 
 // WithDefaults returns a copy of o with unset (zero) scaling fields filled
@@ -124,6 +137,11 @@ func (o Options) Validate() error {
 	if o.Shards < 0 {
 		return fmt.Errorf("experiments: Shards must be non-negative, got %d", o.Shards)
 	}
+	if o.Topology != "" {
+		if _, err := network.ParseTopoSpec(o.Topology); err != nil {
+			return fmt.Errorf("experiments: %v", err)
+		}
+	}
 	return nil
 }
 
@@ -153,6 +171,20 @@ func runJobs(opt Options, jobs []exec.Job) ([]exec.Result, error) {
 			// Config is part of the cache identity, so arming the
 			// watchdog through it invalidates stale cached rows for free.
 			jobs[i].Config.WatchdogCycles = opt.Watchdog
+		}
+	}
+	if opt.Topology != "" {
+		ts, err := network.ParseTopoSpec(opt.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v", err)
+		}
+		for i := range jobs {
+			jobs[i].Config.Topology = ts
+		}
+	}
+	if opt.Multicast {
+		for i := range jobs {
+			jobs[i].Config.Multicast = true
 		}
 	}
 	if opt.Shards > 1 {

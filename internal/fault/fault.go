@@ -91,6 +91,16 @@ type Spec struct {
 	// Probe is the runtime coherence-invariant probe interval in cycles
 	// (0 disables probing).
 	Probe int64
+
+	// LinkTargeted restricts injection to the one directed inter-router
+	// link (LinkRouter, LinkPort), spec key "link=router:port"
+	// ("link=*", the default, targets every link). The namespace is the
+	// active topology's: port p on router r is exactly the Link{From: r,
+	// Port: p} entry that Topology.Links enumerates, so a torus
+	// wraparound link or a ring port is as targetable as a mesh edge.
+	// The zero value (untargeted) leaves every link eligible.
+	LinkTargeted         bool
+	LinkRouter, LinkPort int
 }
 
 // DefaultSpec returns the spec ParseSpec starts from: no injection, and
@@ -109,8 +119,12 @@ func (s Spec) Injecting() bool {
 // Every field is emitted in a fixed order, so ParseSpec(s.String()) == s
 // for any valid spec (the fuzz target holds this as an invariant).
 func (s Spec) String() string {
-	return fmt.Sprintf("drop=%d,corrupt=%d,stall=%d,stalllen=%d,window=%d:%d,scope=%s,timeout=%d,retries=%d,backoff=%d,probe=%d",
-		s.DropPPM, s.CorruptPPM, s.StallPPM, s.StallLen, s.Start, s.End, s.Scope, s.Timeout, s.Budget, s.Backoff, s.Probe)
+	link := "*"
+	if s.LinkTargeted {
+		link = fmt.Sprintf("%d:%d", s.LinkRouter, s.LinkPort)
+	}
+	return fmt.Sprintf("drop=%d,corrupt=%d,stall=%d,stalllen=%d,window=%d:%d,scope=%s,link=%s,timeout=%d,retries=%d,backoff=%d,probe=%d",
+		s.DropPPM, s.CorruptPPM, s.StallPPM, s.StallLen, s.Start, s.End, s.Scope, link, s.Timeout, s.Budget, s.Backoff, s.Probe)
 }
 
 // Validate reports spec field combinations no run can honor.
@@ -130,6 +144,10 @@ func (s Spec) Validate() error {
 	case s.Timeout < 0 || s.Budget < 0 || s.Backoff < 0 || s.Probe < 0:
 		return fmt.Errorf("fault: negative recovery knob (timeout=%d retries=%d backoff=%d probe=%d)",
 			s.Timeout, s.Budget, s.Backoff, s.Probe)
+	case s.LinkTargeted && (s.LinkRouter < 0 || s.LinkPort < 0):
+		return fmt.Errorf("fault: bad link target %d:%d", s.LinkRouter, s.LinkPort)
+	case !s.LinkTargeted && (s.LinkRouter != 0 || s.LinkPort != 0):
+		return fmt.Errorf("fault: link coordinates set without a target (use LinkTargeted)")
 	}
 	return nil
 }
@@ -143,6 +161,9 @@ func (s Spec) Validate() error {
 //	stalllen               stall window length in cycles (default 8)
 //	window                 injection window "start:end" (end empty or 0 = open)
 //	scope                  "req" (retryable requests only, default) or "all"
+//	link                   target one directed link "router:port" ("*" = all,
+//	                       default); ports follow the active topology's
+//	                       namespace (see network.Topology.Links)
 //	timeout                per-request reply timeout in cycles (0 = no retry)
 //	retries                retry budget per access (default 3)
 //	backoff                base reissue backoff in cycles (default 64)
@@ -182,6 +203,23 @@ func ParseSpec(text string) (Spec, error) {
 			default:
 				err = fmt.Errorf("want req or all, got %q", val)
 			}
+		case "link":
+			if val == "*" {
+				s.LinkTargeted, s.LinkRouter, s.LinkPort = false, 0, 0
+				break
+			}
+			r, p, ok := strings.Cut(val, ":")
+			var ri, pi int64
+			var err2 error
+			if ok {
+				ri, err = parseInt(r)
+				pi, err2 = parseInt(p)
+			}
+			if !ok || err != nil || err2 != nil {
+				err = fmt.Errorf("want router:port or *, got %q", val)
+				break
+			}
+			s.LinkTargeted, s.LinkRouter, s.LinkPort = true, int(ri), int(pi)
 		case "timeout":
 			s.Timeout, err = parseInt(val)
 		case "retries":
@@ -262,6 +300,12 @@ func (p Plan) active(cycle int64) bool {
 	return cycle >= p.Spec.Start && (p.Spec.End == 0 || cycle < p.Spec.End)
 }
 
+// onLink reports whether the (router, port) site is inside the spec's link
+// namespace: every link, or the one targeted directed link.
+func (p Plan) onLink(router, port int) bool {
+	return !p.Spec.LinkTargeted || (router == p.Spec.LinkRouter && port == p.Spec.LinkPort)
+}
+
 // sample hashes one (stream, cycle, router, port) site into [0, ppmScale).
 // Same mixing discipline as the experiment layer's seed derivation: fold
 // the coordinates into the seed, then two splitmix64 rounds.
@@ -276,14 +320,14 @@ func (p Plan) sample(kind uint64, cycle int64, router, port int) uint64 {
 // DropAt reports whether the plan drops a packet granted the (router,
 // port) output link at cycle.
 func (p Plan) DropAt(cycle int64, router, port int) bool {
-	return p.Spec.DropPPM != 0 && p.active(cycle) &&
+	return p.Spec.DropPPM != 0 && p.active(cycle) && p.onLink(router, port) &&
 		p.sample(kindDrop, cycle, router, port) < uint64(p.Spec.DropPPM)
 }
 
 // CorruptAt reports whether the plan corrupts a packet crossing the
 // (router, port) link at cycle.
 func (p Plan) CorruptAt(cycle int64, router, port int) bool {
-	return p.Spec.CorruptPPM != 0 && p.active(cycle) &&
+	return p.Spec.CorruptPPM != 0 && p.active(cycle) && p.onLink(router, port) &&
 		p.sample(kindCorrupt, cycle, router, port) < uint64(p.Spec.CorruptPPM)
 }
 
@@ -292,7 +336,7 @@ func (p Plan) CorruptAt(cycle int64, router, port int) bool {
 // the link for a contiguous stretch, as a transient electrical or
 // backpressure fault would.
 func (p Plan) StallAt(cycle int64, router, port int) bool {
-	if p.Spec.StallPPM == 0 || !p.active(cycle) {
+	if p.Spec.StallPPM == 0 || !p.active(cycle) || !p.onLink(router, port) {
 		return false
 	}
 	return p.sample(kindStall, cycle/p.Spec.StallLen, router, port) < uint64(p.Spec.StallPPM)

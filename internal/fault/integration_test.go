@@ -15,6 +15,7 @@ import (
 
 	"innetcc/internal/fault"
 	"innetcc/internal/metrics"
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
 
@@ -254,4 +255,74 @@ func TestProbeAloneIsClean(t *testing.T) {
 	if m.Counters.Get("fault.probes") == 0 {
 		t.Fatal("probe never ran")
 	}
+}
+
+// TestTargetedTorusWrapLinkDrop pins the topology-aware fault namespace:
+// a drop plan targeted at one directed torus wraparound link (router 0's
+// West port, which wraps to the east edge) must actually lose packets
+// there — proving wrap links carry traffic and are addressable fault
+// sites — while both engines still recover to a coherent end state.
+func TestTargetedTorusWrapLinkDrop(t *testing.T) {
+	const accesses, seed = 150, 42
+	topo := network.Torus2D{W: 4, H: 4}
+	// The targeted site must be a genuine wraparound: leaving node 0
+	// westward lands on the opposite edge of the row.
+	wrapTo, ok := topo.Neighbor(0, network.West)
+	if !ok || wrapTo != 3 {
+		t.Fatalf("torus wrap link broken: Neighbor(0, West) = %d, %v", wrapTo, ok)
+	}
+	spec, err := fault.ParseSpec("drop=200000,link=0:3,timeout=200000,retries=6,backoff=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.LinkTargeted || spec.LinkRouter != 0 || spec.LinkPort != int(network.West) {
+		t.Fatalf("link target parsed wrong: %+v", spec)
+	}
+	p := trace.Benchmarks()[0]
+	for _, kind := range protocol.EngineKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := protocol.DefaultConfig()
+			cfg.Topology = network.TorusSpec(4, 4)
+			cfg.Seed = seed
+			cfg.RetryTimeout = spec.Timeout
+			cfg.RetryBudget = spec.Budget
+			cfg.RetryBackoff = spec.Backoff
+			m := buildMachine(t, kind, cfg, p, accesses,
+				protocol.Spec{Faults: &fault.Plan{Spec: spec, Seed: seed}})
+			if err := m.Run(40_000_000); err != nil {
+				t.Fatalf("run under wrap-link drop failed: %v", err)
+			}
+			if v := m.Check.Violations(); len(v) > 0 {
+				t.Fatalf("coherence violations: %v", v)
+			}
+			drops := m.Counters.Get("fault.drops")
+			if drops == 0 {
+				t.Fatal("targeted wrap link dropped nothing; either no traffic wraps or the target is ignored")
+			}
+			if m.Counters.Get("retry.reissues") == 0 {
+				t.Fatalf("%d drops but no reissues", drops)
+			}
+			t.Logf("%s: wrap-link drops=%d reissues=%d cycles=%d", kind,
+				drops, m.Counters.Get("retry.reissues"), m.Kernel.Now())
+		})
+	}
+	// Control: the same target on the open 4x4 mesh names a port with no
+	// link (node 0 has no West neighbor), so no grant ever samples it and
+	// nothing can drop. The namespace really is the topology's.
+	t.Run("mesh-control", func(t *testing.T) {
+		cfg := protocol.DefaultConfig()
+		cfg.Seed = seed
+		cfg.RetryTimeout = spec.Timeout
+		cfg.RetryBudget = spec.Budget
+		cfg.RetryBackoff = spec.Backoff
+		m := buildMachine(t, protocol.KindTree, cfg, p, accesses,
+			protocol.Spec{Faults: &fault.Plan{Spec: spec, Seed: seed}})
+		if err := m.Run(40_000_000); err != nil {
+			t.Fatalf("mesh control run failed: %v", err)
+		}
+		if drops := m.Counters.Get("fault.drops"); drops != 0 {
+			t.Fatalf("mesh dropped %d packets on a link it does not have", drops)
+		}
+	})
 }

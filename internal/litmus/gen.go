@@ -1,18 +1,23 @@
 package litmus
 
-import "innetcc/internal/sim"
+import (
+	"innetcc/internal/network"
+	"innetcc/internal/sim"
+)
 
-// Generate draws a random conflict program from seed: a small mesh, one to
-// three line addresses (few lines shared by many nodes is what makes a
-// litmus test a conflict test), and 4–12 accesses dealt across random
-// nodes. The draw is a pure function of the seed — the same RNG discipline
-// as the rest of the repository — so a campaign is fully described by its
-// base seed and count.
+// Generate draws a random conflict program from seed: a small fabric
+// (mostly meshes, with torus and ring draws mixed in so wraparound routing
+// stays under continuous differential fire), one to three line addresses
+// (few lines shared by many nodes is what makes a litmus test a conflict
+// test), and 4–12 accesses dealt across random nodes. The draw is a pure
+// function of the seed — the same RNG discipline as the rest of the
+// repository — so a campaign is fully described by its base seed and count.
 func Generate(seed uint64) Program {
 	rng := sim.NewRNG(seed)
-	meshes := [][2]int{{2, 2}, {2, 2}, {2, 3}, {3, 3}}
-	m := meshes[rng.Intn(len(meshes))]
-	nodes := m[0] * m[1]
+	topos := []string{"mesh:2x2", "mesh:2x2", "mesh:2x3", "mesh:3x3", "torus:2x2", "torus:3x3", "ring:4", "ring:6"}
+	topo := topos[rng.Intn(len(topos))]
+	ts, _ := network.ParseTopoSpec(topo)
+	nodes := ts.Nodes()
 	addrs := make([]uint64, 1+rng.Intn(3))
 	for i := range addrs {
 		// Spread homes across the mesh (home = addr % nodes) and let two
@@ -27,21 +32,22 @@ func Generate(seed uint64) Program {
 			Write: rng.Intn(2) == 0,
 		}
 	}
-	return Program{MeshW: m[0], MeshH: m[1], Ops: ops}
+	return Program{Topology: topo, Ops: ops}
 }
 
 // DecodeProgram builds a program from raw fuzzer bytes: three bytes per
-// op (node, address, kind) on a mesh picked by the first byte. Unlike
+// op (node, address, kind) on a fabric picked by the first byte. Unlike
 // Generate it gives a coverage-guided fuzzer direct structural control
 // over every op. The result is always valid (Validate passes).
 func DecodeProgram(raw []byte) Program {
-	meshes := [][2]int{{2, 2}, {2, 3}, {3, 3}}
-	m := meshes[0]
+	topos := []string{"mesh:2x2", "mesh:2x3", "mesh:3x3", "torus:2x2", "torus:3x3", "ring:4", "ring:6"}
+	topo := topos[0]
 	if len(raw) > 0 {
-		m = meshes[int(raw[0])%len(meshes)]
+		topo = topos[int(raw[0])%len(topos)]
 		raw = raw[1:]
 	}
-	nodes := m[0] * m[1]
+	ts, _ := network.ParseTopoSpec(topo)
+	nodes := ts.Nodes()
 	var ops []Op
 	for i := 0; i+3 <= len(raw) && len(ops) < 32; i += 3 {
 		ops = append(ops, Op{
@@ -53,5 +59,5 @@ func DecodeProgram(raw []byte) Program {
 	if len(ops) == 0 {
 		ops = []Op{{Node: 0, Addr: 0}}
 	}
-	return Program{MeshW: m[0], MeshH: m[1], Ops: ops}
+	return Program{Topology: topo, Ops: ops}
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
 )
@@ -50,28 +51,47 @@ func (o Op) String() string {
 	return fmt.Sprintf("n%d:%s@%#x", o.Node, k, o.Addr)
 }
 
-// Program is a litmus test: a mesh shape and an op list. Ops are dealt to
-// per-node streams in list order; each node issues its ops in program
-// order (one outstanding at a time), and cross-node interleaving is
+// Program is a litmus test: an interconnect topology and an op list. Ops
+// are dealt to per-node streams in list order; each node issues its ops in
+// program order (one outstanding at a time), and cross-node interleaving is
 // whatever the simulated timing produces.
 type Program struct {
-	MeshW int  `json:"mesh_w"`
-	MeshH int  `json:"mesh_h"`
-	Ops   []Op `json:"ops"`
+	// Topology is the canonical fabric string ("mesh:2x2", "torus:3x3",
+	// "ring:6"); network.ParseTopoSpec parses it.
+	Topology string `json:"topology"`
+	Ops      []Op   `json:"ops"`
+}
+
+// Topo parses the program's topology spec.
+func (p Program) Topo() (network.TopoSpec, error) {
+	return network.ParseTopoSpec(p.Topology)
+}
+
+// Nodes returns the program's node count (0 when the topology is invalid).
+func (p Program) Nodes() int {
+	ts, err := p.Topo()
+	if err != nil {
+		return 0
+	}
+	return ts.Nodes()
 }
 
 // Validate reports structural errors a run cannot proceed past.
 func (p Program) Validate() error {
-	if p.MeshW < 2 || p.MeshH < 2 || p.MeshW > 8 || p.MeshH > 8 {
-		return fmt.Errorf("litmus: mesh %dx%d out of range [2,8]", p.MeshW, p.MeshH)
+	ts, err := p.Topo()
+	if err != nil {
+		return err
+	}
+	nodes := ts.Nodes()
+	if nodes < 4 || nodes > 64 {
+		return fmt.Errorf("litmus: topology %s has %d nodes, want [4,64]", p.Topology, nodes)
 	}
 	if len(p.Ops) == 0 || len(p.Ops) > 256 {
 		return fmt.Errorf("litmus: %d ops out of range [1,256]", len(p.Ops))
 	}
-	nodes := p.MeshW * p.MeshH
 	for i, op := range p.Ops {
 		if op.Node < 0 || op.Node >= nodes {
-			return fmt.Errorf("litmus: op %d node %d outside %d-node mesh", i, op.Node, nodes)
+			return fmt.Errorf("litmus: op %d node %d outside %d-node fabric", i, op.Node, nodes)
 		}
 	}
 	return nil
@@ -79,7 +99,7 @@ func (p Program) Validate() error {
 
 // Trace deals the ops to per-node access streams.
 func (p Program) Trace() *trace.Trace {
-	per := make([][]trace.Access, p.MeshW*p.MeshH)
+	per := make([][]trace.Access, p.Nodes())
 	for _, op := range p.Ops {
 		per[op.Node] = append(per[op.Node], trace.Access{Addr: op.Addr, Write: op.Write})
 	}
@@ -107,13 +127,14 @@ type RunSpec struct {
 	Program Program `json:"program"`
 }
 
-// specVersion is bumped whenever RunSpec's semantics change incompatibly.
-const specVersion = 1
+// specVersion is bumped whenever RunSpec's semantics change incompatibly
+// (v2: Program carries a topology string instead of mesh_w/mesh_h).
+const specVersion = 2
 
 // String is a compact human-readable one-liner for logs.
 func (rs RunSpec) String() string {
-	s := fmt.Sprintf("%s seed=%d %dx%d %v", rs.Engine, rs.Seed,
-		rs.Program.MeshW, rs.Program.MeshH, rs.Program.Ops)
+	s := fmt.Sprintf("%s seed=%d %s %v", rs.Engine, rs.Seed,
+		rs.Program.Topology, rs.Program.Ops)
 	if rs.Bug != "" {
 		s += " bug=" + rs.Bug
 	}

@@ -84,7 +84,7 @@ var bugCases = []struct {
 		bug:    "drop-td-ack",
 		faults: "",
 		programs: []Program{
-			{MeshW: 2, MeshH: 2, Ops: []Op{
+			{Topology: "mesh:2x2", Ops: []Op{
 				{Node: 1, Addr: aA}, {Node: 2, Addr: aB}, {Node: 2, Addr: aA, Write: true}}},
 		},
 	},
@@ -92,7 +92,7 @@ var bugCases = []struct {
 		bug:    "skip-invalidate",
 		faults: "",
 		programs: []Program{
-			{MeshW: 2, MeshH: 2, Ops: []Op{
+			{Topology: "mesh:2x2", Ops: []Op{
 				{Node: 1, Addr: aA}, {Node: 2, Addr: aB}, {Node: 2, Addr: aA, Write: true}}},
 		},
 	},
@@ -100,7 +100,7 @@ var bugCases = []struct {
 		bug:    "lost-writeback",
 		faults: "",
 		programs: []Program{
-			{MeshW: 2, MeshH: 2, Ops: []Op{
+			{Topology: "mesh:2x2", Ops: []Op{
 				{Node: 1, Addr: aA, Write: true}, {Node: 2, Addr: aB}, {Node: 2, Addr: aA}}},
 		},
 	},
@@ -113,13 +113,13 @@ var bugCases = []struct {
 		faults: "probe=10",
 		programs: []Program{
 			// All four nodes churning one line whose home is n2.
-			{MeshW: 2, MeshH: 2, Ops: []Op{
+			{Topology: "mesh:2x2", Ops: []Op{
 				{Node: 2, Addr: 6, Write: true}, {Node: 3, Addr: 6}, {Node: 1, Addr: 6},
 				{Node: 0, Addr: 6, Write: true}, {Node: 3, Addr: 6, Write: true},
 				{Node: 2, Addr: 6, Write: true}, {Node: 0, Addr: 6}, {Node: 2, Addr: 6, Write: true},
 				{Node: 2, Addr: 6, Write: true}, {Node: 3, Addr: 6, Write: true},
 				{Node: 1, Addr: 6}, {Node: 1, Addr: 6, Write: true}}},
-			{MeshW: 3, MeshH: 3, Ops: []Op{
+			{Topology: "mesh:3x3", Ops: []Op{
 				{Node: 8, Addr: aA},
 				{Node: 1, Addr: aB}, {Node: 1, Addr: aC}, {Node: 1, Addr: aA, Write: true}}},
 		},
@@ -130,11 +130,11 @@ var bugCases = []struct {
 		programs: []Program{
 			// A write slips into the home's pending window while a
 			// memory read is being served.
-			{MeshW: 2, MeshH: 2, Ops: []Op{
+			{Topology: "mesh:2x2", Ops: []Op{
 				{Node: 1, Addr: aA}, {Node: 3, Addr: aA, Write: true},
 				{Node: 2, Addr: aB}, {Node: 2, Addr: aA}}},
 			// Two concurrent writes.
-			{MeshW: 2, MeshH: 2, Ops: []Op{
+			{Topology: "mesh:2x2", Ops: []Op{
 				{Node: 1, Addr: aA, Write: true}, {Node: 3, Addr: aA, Write: true},
 				{Node: 2, Addr: aB}, {Node: 2, Addr: aA}}},
 		},
@@ -149,12 +149,12 @@ var bugCases = []struct {
 		// storms. Seed-dependent, hence the scan.
 		faults: "stall=300000,stalllen=24,timeout=120,retries=30,backoff=8,probe=10",
 		programs: []Program{
-			{MeshW: 2, MeshH: 2, Ops: []Op{
+			{Topology: "mesh:2x2", Ops: []Op{
 				{Node: 1, Addr: aA, Write: true}, {Node: 2, Addr: aA, Write: true},
 				{Node: 3, Addr: aA, Write: true}, {Node: 0, Addr: aA, Write: true},
 				{Node: 1, Addr: aA, Write: true}, {Node: 2, Addr: aA, Write: true},
 				{Node: 3, Addr: aA}, {Node: 1, Addr: aA}}},
-			{MeshW: 3, MeshH: 3, Ops: []Op{
+			{Topology: "mesh:3x3", Ops: []Op{
 				{Node: 8, Addr: aA}, {Node: 1, Addr: aA, Write: true}, {Node: 8, Addr: aA, Write: true},
 				{Node: 4, Addr: aA}, {Node: 0, Addr: aA, Write: true}, {Node: 8, Addr: aA},
 				{Node: 2, Addr: aA, Write: true}, {Node: 6, Addr: aA, Write: true}}},
@@ -169,7 +169,7 @@ var bugCases = []struct {
 		// then accepts that abandoned reply, double-completing.
 		faults: "timeout=60,retries=20,backoff=8,probe=25",
 		programs: []Program{
-			{MeshW: 2, MeshH: 2, Ops: []Op{
+			{Topology: "mesh:2x2", Ops: []Op{
 				{Node: 1, Addr: aA}, {Node: 2, Addr: aA, Write: true},
 				{Node: 3, Addr: aA}, {Node: 1, Addr: aA, Write: true},
 				{Node: 2, Addr: aA}, {Node: 3, Addr: aA, Write: true}}},

@@ -36,7 +36,8 @@ func (f Failure) String() string { return f.Oracle + ": " + f.Detail }
 // liveness bug becomes a typed failure instead of a spun-out run.
 func (rs RunSpec) config() protocol.Config {
 	cfg := protocol.DefaultConfig()
-	cfg.MeshW, cfg.MeshH = rs.Program.MeshW, rs.Program.MeshH
+	ts, _ := rs.Program.Topo() // Run validates the program first
+	cfg.Topology = ts
 	cfg.TreeEntries, cfg.TreeWays = 4, 2
 	cfg.DirEntries, cfg.DirWays = 4, 2
 	cfg.L2Entries, cfg.L2Ways = 8, 2
@@ -178,7 +179,7 @@ func checkCompleteness(rs RunSpec, m *protocol.Machine, add func(string, string,
 			gotReads[r.Node]++
 		}
 	}
-	nodes := rs.Program.MeshW * rs.Program.MeshH
+	nodes := rs.Program.Nodes()
 	for n := 0; n < nodes; n++ {
 		if gotWrites[n] != wantWrites[n] {
 			add("completeness", "node %d committed %d writes, program issued %d", n, gotWrites[n], wantWrites[n])

@@ -1,6 +1,9 @@
 package litmus
 
-import "innetcc/internal/fault"
+import (
+	"innetcc/internal/fault"
+	"innetcc/internal/network"
+)
 
 // Fails reports whether the spec still trips at least one oracle. The
 // shrinker preserves this predicate rather than the exact failure text:
@@ -54,19 +57,26 @@ func shrinkOps(rs RunSpec) RunSpec {
 	return rs
 }
 
-// shrinkMesh tries to move the program to a smaller mesh, folding node ids
-// modulo the smaller node count. Smallest first; the first candidate that
-// still fails wins.
+// shrinkMesh tries to move the program to a smaller fabric, folding node
+// ids modulo the smaller node count. Small meshes are tried first — a
+// reproducer on the simplest open fabric is the easiest to reason about —
+// so a torus or ring failure that survives the move also loses its
+// wraparound dependence. Smallest first; the first candidate that still
+// fails wins.
 func shrinkMesh(rs RunSpec) RunSpec {
-	for _, m := range [][2]int{{2, 2}, {2, 3}} {
-		if m[0]*m[1] >= rs.Program.MeshW*rs.Program.MeshH {
+	for _, topo := range []string{"mesh:2x2", "mesh:2x3"} {
+		ts, _ := network.ParseTopoSpec(topo)
+		// A candidate must not grow the system; an equal-sized mesh is
+		// still a simplification of a torus or ring of the same node
+		// count.
+		if topo == rs.Program.Topology || ts.Nodes() > rs.Program.Nodes() {
 			continue
 		}
 		cand := rs
-		cand.Program.MeshW, cand.Program.MeshH = m[0], m[1]
+		cand.Program.Topology = topo
 		cand.Program.Ops = make([]Op, len(rs.Program.Ops))
 		for i, op := range rs.Program.Ops {
-			op.Node %= m[0] * m[1]
+			op.Node %= ts.Nodes()
 			cand.Program.Ops[i] = op
 		}
 		if Fails(cand) {

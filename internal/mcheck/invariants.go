@@ -98,7 +98,7 @@ func (c *Checker) checkTerminal(s *state) {
 			nb := c.neighbor(n, d)
 			if nb < 0 || !s.lines[nb].Valid {
 				c.fail("terminal: n%d link %d dangles", n, d)
-			} else if !s.lines[nb].Links[opposite(d)] {
+			} else if !s.lines[nb].Links[c.arrival(d)] {
 				// One-way tails are cleaned by unlink acks before
 				// quiescence; none may survive.
 				c.fail("terminal: asymmetric edge %d->%d: %s", n, nb, c.describe(s))

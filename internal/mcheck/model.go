@@ -4,31 +4,37 @@
 // checks coherence and sequential-consistency invariants in every reachable
 // state.
 //
-// The reduced model mirrors the paper's: a small mesh, a single cache line,
-// a bounded set of concurrent operations ("multiple concurrent reads and up
-// to two concurrent writes"), message-type-accurate protocol transitions
-// (RD_REQ, RD_REPLY, WR_REQ, WR_REPLY, TEARDOWN, TD_ACK), FIFO channels
-// between adjacent routers, and atomic above-network data accesses. Tree
-// cache capacity conflicts, evictions and the timeout recovery they require
-// are outside the backbone being checked, exactly as in the paper's Murφ
-// spec.
+// The reduced model mirrors the paper's: a small fabric, a single cache
+// line, a bounded set of concurrent operations ("multiple concurrent reads
+// and up to two concurrent writes"), message-type-accurate protocol
+// transitions (RD_REQ, RD_REPLY, WR_REQ, WR_REPLY, TEARDOWN, TD_ACK), FIFO
+// channels between adjacent routers, and atomic above-network data
+// accesses. Tree cache capacity conflicts, evictions and the timeout
+// recovery they require are outside the backbone being checked, exactly as
+// in the paper's Murφ spec.
 //
-// Unlike the paper's fixed 2×2 run, the mesh geometry and the concurrent
-// op program are parameters of Checker, states are deduplicated through a
-// 64-bit canonical hash taken as the minimum over the model's symmetry
-// group (mesh axis flips that fix the home node, composed with
-// permutations of interchangeable ops), and the BFS can fan a level out
-// across worker goroutines. Together these push exhaustive exploration
-// from the paper's 2×2 bound to 3×3 meshes with several concurrent ops.
+// Unlike the paper's fixed 2×2 run, the fabric (any network.Topology —
+// mesh, torus or ring) and the concurrent op program are parameters of
+// Checker, states are deduplicated through a 64-bit canonical hash taken
+// as the minimum over the model's symmetry group (mesh axis flips that fix
+// the home node, composed with permutations of interchangeable ops; on
+// fabrics without a usable flip the group gracefully shrinks to the
+// op-permutation subgroup), and the BFS can fan a level out across worker
+// goroutines. Together these push exhaustive exploration from the paper's
+// 2×2 bound to 3×3 meshes with several concurrent ops.
 package mcheck
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"innetcc/internal/network"
 )
 
-// Directions, matching the full simulator's encoding.
+// Directions, matching the full simulator's encoding: dirN..dirW are the
+// numeric values of network.North..West (a ring only uses the first two,
+// its CW/CCW ports), and dirNone equals int(network.Local).
 const (
 	dirN = iota
 	dirS
@@ -37,66 +43,23 @@ const (
 	dirNone
 )
 
-func opposite(d int) int {
-	switch d {
-	case dirN:
-		return dirS
-	case dirS:
-		return dirN
-	case dirE:
-		return dirW
-	case dirW:
-		return dirE
-	}
-	return dirNone
-}
+// neighbor, arrival, routeTo and dist are the model's view of the fabric,
+// all answered by the Topology. dirNone (== int(network.Local)) flows
+// through unchanged: NextHop returns Local exactly at the destination.
 
 func (c *Checker) neighbor(n, d int) int {
-	x, y := n%c.MeshW, n/c.MeshW
-	switch d {
-	case dirN:
-		y--
-	case dirS:
-		y++
-	case dirE:
-		x++
-	case dirW:
-		x--
-	}
-	if x < 0 || x >= c.MeshW || y < 0 || y >= c.MeshH {
+	nb, ok := c.Topo.Neighbor(n, network.Dir(d))
+	if !ok {
 		return -1
 	}
-	return y*c.MeshW + x
+	return nb
 }
 
-func (c *Checker) xyTo(from, to int) int {
-	fx, fy := from%c.MeshW, from/c.MeshW
-	tx, ty := to%c.MeshW, to/c.MeshW
-	switch {
-	case tx > fx:
-		return dirE
-	case tx < fx:
-		return dirW
-	case ty > fy:
-		return dirS
-	case ty < fy:
-		return dirN
-	}
-	return dirNone
-}
+func (c *Checker) arrival(d int) int { return int(c.Topo.Arrival(network.Dir(d))) }
 
-func (c *Checker) dist(a, b int) int {
-	ax, ay := a%c.MeshW, a/c.MeshW
-	bx, by := b%c.MeshW, b/c.MeshW
-	dx, dy := ax-bx, ay-by
-	if dx < 0 {
-		dx = -dx
-	}
-	if dy < 0 {
-		dy = -dy
-	}
-	return dx + dy
-}
+func (c *Checker) routeTo(from, to int) int { return int(c.Topo.NextHop(from, to)) }
+
+func (c *Checker) dist(a, b int) int { return c.Topo.Dist(a, b) }
 
 // Message types.
 const (
@@ -290,6 +253,12 @@ type Result struct {
 
 // Checker runs the exploration.
 type Checker struct {
+	// Topo is the fabric the model routes over. When nil, Run builds a
+	// MeshW×MeshH mesh (the historical configuration surface); setting
+	// Topo directly (or using NewTopology) checks the protocol over any
+	// fabric — torus wraparound routes, ring two-port routers — with the
+	// same transition relation.
+	Topo         network.Topology
 	MeshW, MeshH int
 	Home         int
 	Ops          []Op
@@ -355,6 +324,16 @@ func NewMesh(w, h, home int, ops []Op) *Checker {
 	}
 }
 
+// NewTopology returns a checker over an arbitrary fabric, with the same
+// defaults as NewMesh. Symmetry reduction degrades gracefully: axis flips
+// apply only to meshes, so other fabrics canonicalize under op
+// permutations alone.
+func NewTopology(t network.Topology, home int, ops []Op) *Checker {
+	c := NewMesh(1, 1, home, ops)
+	c.Topo = t
+	return c
+}
+
 // DefaultProgram mirrors the paper's Murφ bound: concurrent reads on two
 // nodes and two concurrent writes.
 func DefaultProgram() (home int, ops []Op) {
@@ -364,6 +343,25 @@ func DefaultProgram() (home int, ops []Op) {
 		{Node: 3, Write: true},
 		{Node: 1, Write: true},
 	}
+}
+
+// resolve materializes the fabric: a nil Topo becomes the MeshW×MeshH
+// mesh, and the mesh shape fields are re-derived from the topology for the
+// symmetry enumeration (a placeholder N×1 for non-mesh fabrics, whose axis
+// flips are disabled anyway). Idempotent; Run and buildGroup both call it.
+func (c *Checker) resolve() {
+	if c.Topo == nil {
+		if c.MeshW < 1 || c.MeshH < 1 {
+			panic("mcheck: empty mesh")
+		}
+		c.Topo = network.Mesh2D{W: c.MeshW, H: c.MeshH}
+	}
+	if m, ok := c.Topo.(network.Mesh2D); ok {
+		c.MeshW, c.MeshH = m.W, m.H
+	} else {
+		c.MeshW, c.MeshH = c.Topo.Nodes(), 1
+	}
+	c.nodes = c.Topo.Nodes()
 }
 
 // fstate is a frontier entry: the state plus its canonical hash (the
@@ -415,20 +413,23 @@ func (c *Checker) fail(format string, args ...interface{}) {
 // parallel; the merge into the visited set happens serially in frontier
 // order, so the result is independent of the worker count.
 func (c *Checker) Run() Result {
-	c.nodes = c.MeshW * c.MeshH
-	if c.MeshW < 1 || c.MeshH < 1 {
-		panic("mcheck: empty mesh")
+	c.resolve()
+	if c.nodes < 1 {
+		panic("mcheck: empty fabric")
 	}
 	if c.Home < 0 || c.Home >= c.nodes {
-		panic("mcheck: home outside mesh")
+		panic("mcheck: home outside fabric")
 	}
 	for _, op := range c.Ops {
 		if op.Node < 0 || op.Node >= c.nodes {
-			panic("mcheck: op node outside mesh")
+			panic("mcheck: op node outside fabric")
 		}
 	}
 	c.buildGroup()
 
+	// Channel arrays stay network.MaxDegree wide on every fabric; ports a
+	// topology does not wire (a ring's slots 2 and 3) simply never carry
+	// messages, so the hash layout is degree-independent.
 	init := &state{
 		lines: make([]treeLine, c.nodes),
 		data:  make([]int8, c.nodes),

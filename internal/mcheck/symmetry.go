@@ -1,5 +1,7 @@
 package mcheck
 
+import "innetcc/internal/network"
+
 // Symmetry reduction. Two states that differ only by a mesh automorphism
 // (composed with a matching permutation of interchangeable ops) have
 // isomorphic futures, so the visited set stores a canonical 64-bit hash:
@@ -41,6 +43,7 @@ type symElem struct {
 const groupCap = 256
 
 func (c *Checker) buildGroup() {
+	c.resolve()
 	identityOnly := func() []symElem {
 		g := c.newElem()
 		for n := range g.node {
@@ -60,7 +63,12 @@ func (c *Checker) buildGroup() {
 		return
 	}
 
-	full := c.enumerate(true)
+	// Axis flips are automorphisms of X-Y routing on the open mesh only:
+	// the torus tie-break (exact half-way distances route East/South) and
+	// the ring tie-break (clockwise) both pick a handedness a flip would
+	// reverse. Other fabrics keep the op-permutation subgroup.
+	_, isMesh := c.Topo.(network.Mesh2D)
+	full := c.enumerate(isMesh)
 	if len(full) <= groupCap {
 		c.group = full
 		return

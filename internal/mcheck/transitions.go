@@ -79,7 +79,7 @@ func (c *Checker) successors(s *state) []succ {
 			ns := s.clone()
 			m := ns.chans[n*4+d][0]
 			ns.chans[n*4+d] = ns.chans[n*4+d][1:]
-			c.route(ns, nb, m, opposite(d))
+			c.route(ns, nb, m, c.arrival(d))
 			out = append(out, succ{ns, fmt.Sprintf("dlv %s %d->%d", msgNames[m.Type], n, nb)})
 		}
 	}
@@ -150,7 +150,7 @@ func (c *Checker) routeRead(s *state, node int, m msg) {
 		s.nicq[node] = append(s.nicq[node], m)
 		return
 	}
-	send(s, node, c.xyTo(node, c.Home), m)
+	send(s, node, c.routeTo(node, c.Home), m)
 }
 
 func (c *Checker) routeWrite(s *state, node int, m msg) {
@@ -184,7 +184,7 @@ func (c *Checker) routeWrite(s *state, node int, m msg) {
 	if t.Valid && !t.Touched {
 		c.teardown(s, node, dirNone, false)
 	}
-	send(s, node, c.xyTo(node, c.Home), m)
+	send(s, node, c.routeTo(node, c.Home), m)
 }
 
 // revert turns a reply back into a request at node, releasing the
@@ -265,7 +265,7 @@ func (c *Checker) routeReply(s *state, node int, m msg, arrival int) {
 		c.revert(s, node, m, arrival)
 		return
 	}
-	out := c.xyTo(node, req)
+	out := c.routeTo(node, req)
 	if t.Valid && !t.Touched {
 		if !m.Root {
 			if m.Built && arrival != dirNone && !t.Links[arrival] {

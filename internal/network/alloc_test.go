@@ -12,7 +12,7 @@ import (
 type pingPongPolicy struct{}
 
 func (pingPongPolicy) Route(r *Router, p *Packet, _ int64) Steer {
-	if _, ok := NeighborOf(r.mesh.W, r.mesh.H, r.NodeID, East); ok {
+	if _, ok := r.Topo().Neighbor(r.NodeID, East); ok {
 		return Steer{Out: East}
 	}
 	return Steer{Out: West}
@@ -24,7 +24,7 @@ func (pingPongPolicy) Route(r *Router, p *Packet, _ int64) Steer {
 // neighbor hand-off, or the kernel's own event/park bookkeeping.
 func TestRouterTickZeroAllocsSteadyState(t *testing.T) {
 	k := sim.NewKernel(1)
-	m := NewMesh(k, 2, 1, 2, 1, pingPongPolicy{})
+	m := testMesh(k, 2, 1, 2, 1, pingPongPolicy{})
 	m.EjectFn = func(int, *Packet, int64) {}
 	p := m.AllocPacketFor(0)
 	p.ID = m.NextIDFor(0)
@@ -42,7 +42,7 @@ func TestRouterTickZeroAllocsSteadyState(t *testing.T) {
 // is not ticked at all).
 func TestIdleRouterTickZeroAllocs(t *testing.T) {
 	k := sim.NewKernel(1)
-	m := NewMesh(k, 4, 4, 2, 1, XYPolicy{})
+	m := testMesh(k, 4, 4, 2, 1, DestPolicy{})
 	m.EjectFn = func(int, *Packet, int64) {}
 	r := m.Routers[5]
 	allocs := testing.AllocsPerRun(1000, func() { r.Tick(10) })
@@ -56,7 +56,7 @@ func TestIdleRouterTickZeroAllocs(t *testing.T) {
 // harness may retain) are never recycled.
 func TestPacketFreeListRecycles(t *testing.T) {
 	k := sim.NewKernel(1)
-	m := NewMesh(k, 2, 1, 1, 1, XYPolicy{})
+	m := testMesh(k, 2, 1, 1, 1, DestPolicy{})
 	delivered := 0
 	m.EjectFn = func(int, *Packet, int64) { delivered++ }
 
@@ -93,7 +93,7 @@ func TestPacketFreeListRecycles(t *testing.T) {
 // injection wakes exactly the routers the packet traverses.
 func TestRoutersParkWhenDrained(t *testing.T) {
 	k := sim.NewKernel(1)
-	m := NewMesh(k, 4, 4, 2, 1, XYPolicy{})
+	m := testMesh(k, 4, 4, 2, 1, DestPolicy{})
 	m.EjectFn = func(int, *Packet, int64) {}
 	p := m.AllocPacketFor(0)
 	p.ID = m.NextIDFor(0)

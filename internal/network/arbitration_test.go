@@ -15,7 +15,7 @@ type spawnOnSight struct {
 }
 
 func (s *spawnOnSight) Route(r *Router, p *Packet, now int64) Steer {
-	st := Steer{Out: XYTo(r.mesh.W, r.NodeID, p.Dst)}
+	st := Steer{Out: r.Topo().NextHop(r.NodeID, p.Dst)}
 	if r.NodeID == s.at && !s.spawned && p.Payload == "lead" {
 		s.spawned = true
 		st.Spawn = []*Packet{{
@@ -34,7 +34,7 @@ func TestChaserNeverOvertakesLead(t *testing.T) {
 	for _, expedited := range []bool{false, true} {
 		k := sim.NewKernel(1)
 		pol := &spawnOnSight{at: 1, expedited: expedited}
-		m := NewMesh(k, 4, 1, 3, 1, pol)
+		m := testMesh(k, 4, 1, 3, 1, pol)
 		var order []string
 		m.EjectFn = func(node int, p *Packet, now int64) {
 			order = append(order, p.Payload.(string))
@@ -55,7 +55,7 @@ func TestExpeditedSpawnSkipsPipeline(t *testing.T) {
 	depart := func(expedited bool) int64 {
 		k := sim.NewKernel(1)
 		pol := &spawnOnSight{at: 0, expedited: expedited}
-		m := NewMesh(k, 2, 1, 5, 1, pol)
+		m := testMesh(k, 2, 1, 5, 1, pol)
 		var chaserAt int64
 		m.EjectFn = func(node int, p *Packet, now int64) {
 			if p.Payload == "chaser" {
@@ -80,7 +80,7 @@ func TestMultipleVCsIsolateClasses(t *testing.T) {
 	// packet in the same physical port.
 	k := sim.NewKernel(1)
 	pol := &classStall{}
-	m := NewMesh(k, 3, 1, 2, 2, pol)
+	m := testMesh(k, 3, 1, 2, 2, pol)
 	var got []VC
 	m.EjectFn = func(node int, p *Packet, now int64) { got = append(got, p.Class) }
 	// Class 0 stalls forever at node 1; class 1 passes through.
@@ -100,12 +100,12 @@ func (classStall) Route(r *Router, p *Packet, now int64) Steer {
 	if r.NodeID == 1 && p.Class == 0 {
 		return Steer{Stall: true}
 	}
-	return Steer{Out: XYTo(r.mesh.W, r.NodeID, p.Dst)}
+	return Steer{Out: r.Topo().NextHop(r.NodeID, p.Dst)}
 }
 
 func TestInFlightAccounting(t *testing.T) {
 	k := sim.NewKernel(1)
-	m := NewMesh(k, 2, 2, 2, 1, XYPolicy{})
+	m := testMesh(k, 2, 2, 2, 1, DestPolicy{})
 	delivered := 0
 	m.EjectFn = func(int, *Packet, int64) { delivered++ }
 	for i := 0; i < 6; i++ {

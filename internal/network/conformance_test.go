@@ -1,0 +1,182 @@
+package network
+
+import (
+	"testing"
+)
+
+// conformanceFabrics is every topology shape the conformance suite runs
+// over: square and rectangular meshes and tori, small and large rings,
+// including the degenerate cases routing tie-breaks are most likely to get
+// wrong (1-wide meshes, even-sized rings and tori where the two ways
+// around are equal length).
+func conformanceFabrics() []Topology {
+	return []Topology{
+		Mesh2D{W: 1, H: 1},
+		Mesh2D{W: 4, H: 1},
+		Mesh2D{W: 1, H: 4},
+		Mesh2D{W: 2, H: 2},
+		Mesh2D{W: 4, H: 4},
+		Mesh2D{W: 3, H: 5},
+		Mesh2D{W: 8, H: 8},
+		Torus2D{W: 2, H: 2},
+		Torus2D{W: 3, H: 3},
+		Torus2D{W: 4, H: 4},
+		Torus2D{W: 3, H: 5},
+		Torus2D{W: 8, H: 8},
+		Ring{N: 2},
+		Ring{N: 3},
+		Ring{N: 5},
+		Ring{N: 8},
+		Ring{N: 64},
+	}
+}
+
+// TestTopologyConformance is the contract suite every Topology
+// implementation must pass: minimal deterministic routing that delivers
+// every src→dst pair in exactly Dist hops, neighbor/arrival symmetry, a
+// bounded degree, and a Links enumeration consistent with Neighbor.
+func TestTopologyConformance(t *testing.T) {
+	for _, topo := range conformanceFabrics() {
+		topo := topo
+		t.Run(topo.Spec(), func(t *testing.T) {
+			n := topo.Nodes()
+			deg := topo.Degree()
+			if n < 1 {
+				t.Fatalf("Nodes() = %d", n)
+			}
+			if deg < 1 || deg > MaxDegree {
+				t.Fatalf("Degree() = %d, want 1..%d", deg, MaxDegree)
+			}
+
+			// Arrival must be an involution onto valid ports, and every
+			// link must be reversible: leaving n through d and coming
+			// straight back through Arrival(d) returns to n.
+			for d := 0; d < deg; d++ {
+				a := topo.Arrival(Dir(d))
+				if int(a) < 0 || int(a) >= deg {
+					t.Fatalf("Arrival(%d) = %d outside 0..%d", d, a, deg-1)
+				}
+				if back := topo.Arrival(a); back != Dir(d) {
+					t.Fatalf("Arrival not an involution: %d -> %d -> %d", d, a, back)
+				}
+			}
+			for node := 0; node < n; node++ {
+				for d := 0; d < deg; d++ {
+					nb, ok := topo.Neighbor(node, Dir(d))
+					if !ok {
+						continue
+					}
+					if nb < 0 || nb >= n {
+						t.Fatalf("Neighbor(%d, %d) = %d outside fabric", node, d, nb)
+					}
+					if back, ok := topo.Neighbor(nb, topo.Arrival(Dir(d))); !ok || back != node {
+						t.Fatalf("link %d -%d-> %d has no reverse via Arrival", node, d, nb)
+					}
+				}
+			}
+
+			// Minimal deterministic routing: walking NextHop from any
+			// src reaches dst in exactly Dist(src, dst) hops, each hop
+			// strictly decreasing Dist; NextHop returns Local exactly at
+			// the destination, and twice in a row agrees (pure value).
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					want := topo.Dist(src, dst)
+					if (src == dst) != (want == 0) {
+						t.Fatalf("Dist(%d,%d) = %d", src, dst, want)
+					}
+					cur, hops := src, 0
+					for cur != dst {
+						out := topo.NextHop(cur, dst)
+						if out == Local {
+							t.Fatalf("NextHop(%d,%d) = Local before arrival (walking %d->%d)", cur, dst, src, dst)
+						}
+						if out != topo.NextHop(cur, dst) {
+							t.Fatalf("NextHop(%d,%d) not deterministic", cur, dst)
+						}
+						if int(out) >= deg {
+							t.Fatalf("NextHop(%d,%d) = %d outside degree %d", cur, dst, out, deg)
+						}
+						next, ok := topo.Neighbor(cur, out)
+						if !ok {
+							t.Fatalf("NextHop(%d,%d) = %d names a missing link", cur, dst, out)
+						}
+						if topo.Dist(next, dst) != topo.Dist(cur, dst)-1 {
+							t.Fatalf("hop %d->%d does not approach %d (Dist %d -> %d)",
+								cur, next, dst, topo.Dist(cur, dst), topo.Dist(next, dst))
+						}
+						cur = next
+						if hops++; hops > n {
+							t.Fatalf("route %d->%d did not terminate", src, dst)
+						}
+					}
+					if hops != want {
+						t.Fatalf("route %d->%d took %d hops, Dist says %d", src, dst, hops, want)
+					}
+					if out := topo.NextHop(dst, dst); out != Local {
+						t.Fatalf("NextHop(%d,%d) = %d, want Local", dst, dst, out)
+					}
+				}
+			}
+
+			// Links must enumerate exactly the Neighbor relation, ordered
+			// by (From, Port).
+			links := topo.Links()
+			i := 0
+			for node := 0; node < n; node++ {
+				for d := 0; d < deg; d++ {
+					nb, ok := topo.Neighbor(node, Dir(d))
+					if !ok {
+						continue
+					}
+					if i >= len(links) {
+						t.Fatalf("Links() short: missing %d -%d-> %d", node, d, nb)
+					}
+					want := Link{From: node, Port: Dir(d), To: nb}
+					if links[i] != want {
+						t.Fatalf("Links()[%d] = %v, want %v", i, links[i], want)
+					}
+					i++
+				}
+			}
+			if i != len(links) {
+				t.Fatalf("Links() has %d extra entries", len(links)-i)
+			}
+
+			// The spec string round-trips to an identical fabric.
+			ts, err := ParseTopoSpec(topo.Spec())
+			if err != nil {
+				t.Fatalf("ParseTopoSpec(%q): %v", topo.Spec(), err)
+			}
+			if got := ts.Build().Spec(); got != topo.Spec() {
+				t.Fatalf("spec round-trip: %q -> %q", topo.Spec(), got)
+			}
+		})
+	}
+}
+
+// TestTopoSpecParsing pins the accepted and rejected spec forms.
+func TestTopoSpecParsing(t *testing.T) {
+	good := map[string]string{
+		"mesh:4x4":  "mesh:4x4",
+		"torus:8x8": "torus:8x8",
+		"ring:64":   "ring:64",
+		"2x3":       "mesh:2x3", // bare WxH is a mesh (old -mcheck-mesh form)
+	}
+	for in, want := range good {
+		ts, err := ParseTopoSpec(in)
+		if err != nil {
+			t.Errorf("ParseTopoSpec(%q): %v", in, err)
+			continue
+		}
+		if ts.String() != want {
+			t.Errorf("ParseTopoSpec(%q) = %q, want %q", in, ts.String(), want)
+		}
+	}
+	bad := []string{"", "hypercube:8", "mesh:0x4", "mesh:4", "torus:1x4", "ring:1", "ring:x", "mesh:axb"}
+	for _, in := range bad {
+		if _, err := ParseTopoSpec(in); err == nil {
+			t.Errorf("ParseTopoSpec(%q) accepted", in)
+		}
+	}
+}

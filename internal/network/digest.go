@@ -17,10 +17,10 @@ func (m *Mesh) DigestState(d *sim.Digest) {
 		d.Int(r.queued)
 		d.U64(r.routeSeq)
 		d.U64(r.idSeq)
-		for out := 0; out < numOutPorts; out++ {
+		for out := 0; out < m.numOut; out++ {
 			d.I64(r.busyTill[out])
 		}
-		for port := 0; port < numInPorts; port++ {
+		for port := 0; port < m.numIn; port++ {
 			for vc := range r.in[port] {
 				q := &r.in[port][vc]
 				d.Int(q.n)
@@ -36,9 +36,17 @@ func (m *Mesh) DigestState(d *sim.Digest) {
 					d.I64(p.InjectedAt)
 					d.Int(int(p.ArrivalDir))
 					d.Bool(p.routed)
-					d.Int(int(p.outPort))
+					d.Int(p.outSlot)
 					d.U64(p.routeSeq)
 					d.I64(p.stallStart)
+					// Multicast destination sets fold only when present,
+					// so unicast-only runs digest exactly as before.
+					if p.DstSet != nil {
+						d.Int(len(p.DstSet))
+						for _, w := range p.DstSet {
+							d.U64(w)
+						}
+					}
 				}
 			}
 		}

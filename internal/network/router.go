@@ -9,20 +9,21 @@ import (
 	"innetcc/internal/sim"
 )
 
-// numInPorts: N, S, E, W, Local (NIC injection), Gen (protocol-spawned).
-const (
-	portGen     = 5
-	numInPorts  = 6
-	numOutPorts = 5 // N, S, E, W, Local (ejection)
-)
+// Router port slots. A router on a degree-d topology has d inter-router
+// ports (slots 0..d-1, identified by Dir values), then the local port
+// (slot d: NIC injection in, ejection out), then the generation port
+// (slot d+1, input only: protocol-spawned packets). On the 4-port mesh
+// this reproduces the historical fixed layout N,S,E,W,Local,Gen exactly,
+// so scan order, arbitration order, fault-site numbering and digests are
+// unchanged there.
 
 type fifoEntry struct {
 	pkt     *Packet
 	readyAt int64 // cycle the head flit clears this router's pipeline
 }
 
-// Router is one mesh router. It owns per-input-port, per-VC FIFOs, a k-cycle
-// pipeline, and round-robin arbitration per output port.
+// Router is one fabric router. It owns per-input-port, per-VC FIFOs, a
+// k-cycle pipeline, and age-based arbitration per output port.
 type Router struct {
 	// NodeID is the router's position, equal to the attached node's id.
 	NodeID int
@@ -30,9 +31,9 @@ type Router struct {
 	tid    sim.TickerID
 	shard  int // owning shard; routers only touch their own shard's state mid-tick
 
-	in       [numInPorts][]fifoQueue // indexed [port][vc]
-	busyTill [numOutPorts]int64
-	queued   int // packets across all FIFOs, for park/wake
+	in       [][]fifoQueue // indexed [port slot][vc]
+	busyTill []int64       // indexed [output slot]
+	queued   int           // packets across all FIFOs, for park/wake
 
 	// routeSeq stamps routing decisions for age-based arbitration and idSeq
 	// allocates packet ids; both are per-router (not mesh-global) so sharded
@@ -50,6 +51,10 @@ type Router struct {
 	// leave and re-enter the router.
 	ExtraHopDelay int64
 }
+
+// Topo returns the fabric the router is wired into: the narrow accessor
+// routing policies use for next-hop, distance and neighbor queries.
+func (r *Router) Topo() Topology { return r.mesh.Topo }
 
 // fifoQueue is a growable ring buffer of fifoEntries. Unlike the obvious
 // `q = q[1:]` slice queue, a ring never strands capacity behind the read
@@ -86,16 +91,20 @@ func (f *fifoQueue) pop() fifoEntry {
 	return e
 }
 
-// Mesh is a w-by-h grid of routers sharing one routing Policy. Node i sits
-// at (i%w, i/w).
+// Mesh is a fabric of routers sharing one routing Policy; the name is
+// historical — the wiring is whatever Topo says.
 type Mesh struct {
-	W, H     int
+	Topo     Topology
 	Pipeline int64
 	VCCount  int
 	Routers  []*Router
 	Policy   Policy
 
 	kernel *sim.Kernel
+
+	// deg is Topo.Degree(); numIn/numOut the derived port-slot counts
+	// (deg inter-router + local + gen in, deg inter-router + local out).
+	deg, numIn, numOut int
 
 	// shards is the spatial decomposition: router i belongs to shard
 	// i*shards/Nodes(), a contiguous band of router ids. sh holds each
@@ -108,6 +117,12 @@ type Mesh struct {
 	// leaves through a router's local ejection port. It must be set
 	// before traffic flows.
 	EjectFn func(node int, p *Packet, now int64)
+
+	// CloneFn, when non-nil, deep-copies a packet payload for multicast
+	// forks (DestPolicy cloning a packet at a fan-out router). Without it
+	// forks share the payload pointer, which is only safe for payloads
+	// the receiving protocol treats as immutable.
+	CloneFn func(payload interface{}) interface{}
 
 	// InFlight is the number of packets currently inside the network.
 	InFlight int
@@ -146,32 +161,111 @@ type Mesh struct {
 	DeliveredPackets int64
 }
 
-// NewMesh builds a w-by-h mesh with the given router pipeline depth and
-// virtual-channel count, registers every router with the kernel, and wires
-// the policy in. Routers park themselves whenever their FIFOs drain and are
-// woken by injection, protocol spawning and neighbor hand-off, so an idle
-// router costs the kernel nothing but a flag check per cycle.
-func NewMesh(k *sim.Kernel, w, h int, pipeline int64, vcCount int, policy Policy) *Mesh {
-	if w <= 0 || h <= 0 || pipeline < 1 || vcCount < 1 {
-		panic("network: invalid mesh shape")
+// Config describes a fabric to Build: the topology it is wired into, the
+// per-router pipeline depth, the virtual-channel count and the routing
+// policy. Zero Pipeline defaults to 1 cycle and zero VCs to one channel;
+// Topo and Policy are required.
+type Config struct {
+	Topo     Topology
+	Pipeline int64
+	VCs      int
+	Policy   Policy
+
+	// Clone, when set, becomes the mesh's CloneFn (payload deep-copy for
+	// multicast forks).
+	Clone func(payload interface{}) interface{}
+}
+
+// Validate normalizes defaults in place and reports structural errors
+// Build would panic on.
+func (c *Config) Validate() error {
+	if c.Pipeline == 0 {
+		c.Pipeline = 1
 	}
-	m := &Mesh{W: w, H: h, Pipeline: pipeline, VCCount: vcCount, Policy: policy, kernel: k}
+	if c.VCs == 0 {
+		c.VCs = 1
+	}
+	switch {
+	case c.Topo == nil:
+		return fmt.Errorf("network: Config.Topo is required")
+	case c.Topo.Nodes() < 1 || c.Topo.Degree() < 1 || c.Topo.Degree() > MaxDegree:
+		return fmt.Errorf("network: topology %s has %d nodes, degree %d", c.Topo.Spec(), c.Topo.Nodes(), c.Topo.Degree())
+	case c.Pipeline < 1:
+		return fmt.Errorf("network: pipeline depth %d < 1", c.Pipeline)
+	case c.VCs < 1:
+		return fmt.Errorf("network: VC count %d < 1", c.VCs)
+	case c.Policy == nil:
+		return fmt.Errorf("network: Config.Policy is required")
+	}
+	return nil
+}
+
+// Build constructs the fabric described by cfg, registers every router
+// with the kernel, and wires the policy in. Routers park themselves
+// whenever their FIFOs drain and are woken by injection, protocol spawning
+// and neighbor hand-off, so an idle router costs the kernel nothing but a
+// flag check per cycle. Panics on an invalid Config — construction errors
+// are programming errors, exactly as the old positional constructor
+// treated them.
+func Build(k *sim.Kernel, cfg Config) *Mesh {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nodes := cfg.Topo.Nodes()
+	m := &Mesh{
+		Topo:     cfg.Topo,
+		Pipeline: cfg.Pipeline,
+		VCCount:  cfg.VCs,
+		Policy:   cfg.Policy,
+		CloneFn:  cfg.Clone,
+		kernel:   k,
+		deg:      cfg.Topo.Degree(),
+	}
+	m.numIn = m.deg + 2  // inter-router + local + gen
+	m.numOut = m.deg + 1 // inter-router + local
 	m.shards = k.Shards()
-	if m.shards > w*h {
-		m.shards = w * h
+	if m.shards > nodes {
+		m.shards = nodes
 	}
 	m.sh = make([]meshShard, m.shards)
-	for i := 0; i < w*h; i++ {
-		r := &Router{NodeID: i, mesh: m, shard: i * m.shards / (w * h)}
-		for p := 0; p < numInPorts; p++ {
-			r.in[p] = make([]fifoQueue, vcCount)
+	for i := 0; i < nodes; i++ {
+		r := &Router{NodeID: i, mesh: m, shard: i * m.shards / nodes}
+		r.in = make([][]fifoQueue, m.numIn)
+		for p := 0; p < m.numIn; p++ {
+			r.in[p] = make([]fifoQueue, cfg.VCs)
 		}
+		r.busyTill = make([]int64, m.numOut)
 		m.Routers = append(m.Routers, r)
 		r.tid = k.Register(r)
 		k.AssignShard(r.tid, r.shard)
 	}
 	k.OnBarrier(m.flush)
 	return m
+}
+
+// localSlot and genSlot are the port slots of the local and generation
+// ports; slotDir maps an output slot back to its Dir (inter-router ports
+// by number, the local slot to Local).
+func (m *Mesh) localSlot() int { return m.deg }
+func (m *Mesh) genSlot() int   { return m.deg + 1 }
+
+func (m *Mesh) slotDir(s int) Dir {
+	if s == m.deg {
+		return Local
+	}
+	return Dir(s)
+}
+
+// outSlotOf maps a policy's Steer.Out direction to an output slot, or -1
+// if the direction is not a port on this fabric.
+func (m *Mesh) outSlotOf(d Dir) int {
+	if d == Local {
+		return m.deg
+	}
+	if int(d) < m.deg {
+		return int(d)
+	}
+	return -1
 }
 
 // ShardOf returns the shard owning node's router (and with it all
@@ -206,7 +300,7 @@ type meshShard struct {
 // only becomes routable at readyAt, at least two cycles out.
 type xferRec struct {
 	to   *Router
-	port Dir
+	port int // input port slot at the receiver
 	vc   int
 	e    fifoEntry
 }
@@ -259,13 +353,13 @@ func (m *Mesh) flush() {
 	}
 }
 
-// Nodes returns the number of routers in the mesh.
-func (m *Mesh) Nodes() int { return m.W * m.H }
+// Nodes returns the number of routers in the fabric.
+func (m *Mesh) Nodes() int { return len(m.Routers) }
 
-// InPorts and OutPorts export the router port counts for instrumentation
-// sizing (metrics.NewNoC).
-func (m *Mesh) InPorts() int  { return numInPorts }
-func (m *Mesh) OutPorts() int { return numOutPorts }
+// InPorts and OutPorts export the router port-slot counts for
+// instrumentation sizing (metrics.NewNoC).
+func (m *Mesh) InPorts() int  { return m.numIn }
+func (m *Mesh) OutPorts() int { return m.numOut }
 
 // NextIDFor allocates a fresh packet id from node's router-local sequence.
 // The node id is folded into the high bits so per-router sequences never
@@ -300,13 +394,14 @@ func (m *Mesh) AllocPacketFor(node int) *Packet {
 func (m *Mesh) recycleAt(r *Router, p *Packet) {
 	if p.pooled {
 		p.Payload = nil
+		p.DstSet = nil
 		r.freePkts = append(r.freePkts, p)
 	}
 }
 
 // enqueue appends e to the router's [port][vc] FIFO and wakes the router:
 // it now has work and must tick until it drains again.
-func (r *Router) enqueue(port Dir, vc int, e fifoEntry) {
+func (r *Router) enqueue(port, vc int, e fifoEntry) {
 	r.in[port][vc].push(e)
 	r.queued++
 	r.mesh.kernel.Wake(r.tid)
@@ -331,7 +426,7 @@ func (m *Mesh) Inject(node int, p *Packet, now int64) {
 		p.Checksum = ChecksumOf(p)
 	}
 	m.InFlight++
-	r.enqueue(Local, int(p.Class)%m.VCCount, fifoEntry{pkt: p, readyAt: now + m.Pipeline + r.ExtraHopDelay})
+	r.enqueue(m.localSlot(), int(p.Class)%m.VCCount, fifoEntry{pkt: p, readyAt: now + m.Pipeline + r.ExtraHopDelay})
 }
 
 // spawn places a protocol-generated packet into node's generation port.
@@ -362,7 +457,7 @@ func (m *Mesh) spawn(node int, p *Packet, now int64) {
 	if p.Expedited {
 		delay = 0
 	}
-	r.enqueue(portGen, int(p.Class)%m.VCCount, fifoEntry{pkt: p, readyAt: now + delay})
+	r.enqueue(m.genSlot(), int(p.Class)%m.VCCount, fifoEntry{pkt: p, readyAt: now + delay})
 }
 
 // Spawn is the exported form of spawn for protocol engines that generate
@@ -379,14 +474,14 @@ func (r *Router) Tick(now int64) {
 	nm := m.Metrics
 	if nm != nil {
 		// Integrate input-FIFO occupancy (packet-cycles) per port/VC.
-		for port := 0; port < numInPorts; port++ {
+		for port := 0; port < m.numIn; port++ {
 			for vc := 0; vc < m.VCCount; vc++ {
 				nm.QueueSum[nm.InIdx(r.NodeID, port, vc)] += int64(r.in[port][vc].n)
 			}
 		}
 	}
 	// Phase 1: routing decisions for FIFO heads that cleared the pipeline.
-	for port := 0; port < numInPorts; port++ {
+	for port := 0; port < m.numIn; port++ {
 		for vc := 0; vc < m.VCCount; vc++ {
 			h := r.in[port][vc].head0()
 			if h == nil || h.readyAt > now || h.pkt.routed {
@@ -431,11 +526,12 @@ func (r *Router) Tick(now int64) {
 					nm.PolicyStalls[r.NodeID]++
 				}
 			default:
-				if st.Out >= numOutPorts {
-					panic(fmt.Sprintf("network: policy steered packet %d to invalid port %v", p.ID, st.Out))
+				slot := m.outSlotOf(st.Out)
+				if slot < 0 {
+					panic(fmt.Sprintf("network: policy steered packet %d to invalid port %v on %s", p.ID, st.Out, m.Topo.Spec()))
 				}
 				p.routed = true
-				p.outPort = st.Out
+				p.outSlot = slot
 				p.stallStart = 0
 				r.routeSeq++
 				p.routeSeq = r.routeSeq
@@ -448,9 +544,10 @@ func (r *Router) Tick(now int64) {
 	// teardown chasing the reply that just built a virtual link) can
 	// then never overtake that packet onto the link, which the
 	// in-network protocol's correctness argument requires.
-	nSlots := numInPorts * m.VCCount
-	for out := 0; out < numOutPorts; out++ {
-		if inj := m.Faults; inj != nil && Dir(out) != Local &&
+	nSlots := m.numIn * m.VCCount
+	local := m.localSlot()
+	for out := 0; out < m.numOut; out++ {
+		if inj := m.Faults; inj != nil && out != local &&
 			inj.StallAt(now, r.NodeID, out) {
 			// The link is frozen by a stall fault this cycle: no grant,
 			// exactly as if it were still serializing.
@@ -462,7 +559,7 @@ func (r *Router) Tick(now int64) {
 				// flits: charge routed heads waiting for it.
 				for slot := 0; slot < nSlots; slot++ {
 					h := r.in[slot/m.VCCount][slot%m.VCCount].head0()
-					if h != nil && h.pkt.routed && h.pkt.outPort == Dir(out) {
+					if h != nil && h.pkt.routed && h.pkt.outSlot == out {
 						h.pkt.serialWait++
 						nm.SerialWait[nm.OutIdx(r.NodeID, out)]++
 					}
@@ -475,7 +572,7 @@ func (r *Router) Tick(now int64) {
 		for slot := 0; slot < nSlots; slot++ {
 			port, vc := slot/m.VCCount, slot%m.VCCount
 			h := r.in[port][vc].head0()
-			if h == nil || !h.pkt.routed || h.pkt.outPort != Dir(out) {
+			if h == nil || !h.pkt.routed || h.pkt.outSlot != out {
 				continue
 			}
 			if granted < 0 || h.pkt.routeSeq < bestSeq {
@@ -491,7 +588,7 @@ func (r *Router) Tick(now int64) {
 		r.queued--
 		p := e.pkt
 		p.routed = false
-		if inj := m.Faults; inj != nil && Dir(out) != Local &&
+		if inj := m.Faults; inj != nil && out != local &&
 			(inj.Plan.Spec.Scope == fault.ScopeAll || p.Retryable) &&
 			inj.DropAt(now, r.NodeID, out) {
 			// The packet is lost on the link: it leaves the network
@@ -513,7 +610,7 @@ func (r *Router) Tick(now int64) {
 			nm.Grants[oi]++
 			nm.LinkBusy[oi] += int64(p.Flits)
 		}
-		if Dir(out) == Local {
+		if out == local {
 			// Ejection is protocol work (EjectFn reaches into controller
 			// state); it is deferred through the owning shard's queue and
 			// lands on the event heap one cycle out, exactly as the old
@@ -530,9 +627,9 @@ func (r *Router) Tick(now int64) {
 			})
 			continue
 		}
-		nb, ok := NeighborOf(m.W, m.H, r.NodeID, Dir(out))
+		nb, ok := m.Topo.Neighbor(r.NodeID, Dir(out))
 		if !ok {
-			panic(fmt.Sprintf("network: packet %d routed off-mesh %v from node %d", p.ID, Dir(out), r.NodeID))
+			panic(fmt.Sprintf("network: packet %d routed off-fabric %v from node %d on %s", p.ID, Dir(out), r.NodeID, m.Topo.Spec()))
 		}
 		next := m.Routers[nb]
 		if inj := m.Faults; inj != nil && inj.CorruptAt(now, r.NodeID, out) {
@@ -540,7 +637,7 @@ func (r *Router) Tick(now int64) {
 			// verification discards the packet before routing it.
 			p.Checksum = ^p.Checksum
 		}
-		p.ArrivalDir = Dir(out).Opposite()
+		p.ArrivalDir = m.Topo.Arrival(Dir(out))
 		p.Hops++
 		// Hand-off goes through the shard mailbox and lands on the
 		// neighbor's FIFO at the cycle barrier — even for a same-shard
@@ -549,7 +646,7 @@ func (r *Router) Tick(now int64) {
 		// routable at readyAt, which is at least two cycles out.
 		sh.xfers = append(sh.xfers, xferRec{
 			to:   next,
-			port: p.ArrivalDir,
+			port: int(p.ArrivalDir),
 			vc:   vc,
 			e:    fifoEntry{pkt: p, readyAt: now + 1 + m.Pipeline + next.ExtraHopDelay},
 		})

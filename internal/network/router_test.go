@@ -27,84 +27,93 @@ func TestDirString(t *testing.T) {
 	}
 }
 
+// testMesh is the test shorthand for the old positional constructor: an
+// open W-by-H mesh under the destination policy (or any policy).
+func testMesh(k *sim.Kernel, w, h int, pipeline int64, vcs int, policy Policy) *Mesh {
+	return Build(k, Config{Topo: Mesh2D{W: w, H: h}, Pipeline: pipeline, VCs: vcs, Policy: policy})
+}
+
 func TestXYToResolvesXFirst(t *testing.T) {
-	// 4-wide mesh; from node 0 (0,0) to node 5 (1,1): X first -> East.
-	if d := XYTo(4, 0, 5); d != East {
-		t.Fatalf("XYTo(0->5) = %v, want East", d)
+	m := Mesh2D{W: 4, H: 4}
+	// From node 0 (0,0) to node 5 (1,1): X first -> East.
+	if d := m.NextHop(0, 5); d != East {
+		t.Fatalf("NextHop(0->5) = %v, want East", d)
 	}
 	// Same column: Y only.
-	if d := XYTo(4, 0, 4); d != South {
-		t.Fatalf("XYTo(0->4) = %v, want South", d)
+	if d := m.NextHop(0, 4); d != South {
+		t.Fatalf("NextHop(0->4) = %v, want South", d)
 	}
-	if d := XYTo(4, 5, 4); d != West {
-		t.Fatalf("XYTo(5->4) = %v, want West", d)
+	if d := m.NextHop(5, 4); d != West {
+		t.Fatalf("NextHop(5->4) = %v, want West", d)
 	}
-	if d := XYTo(4, 4, 0); d != North {
-		t.Fatalf("XYTo(4->0) = %v, want North", d)
+	if d := m.NextHop(4, 0); d != North {
+		t.Fatalf("NextHop(4->0) = %v, want North", d)
 	}
-	if d := XYTo(4, 7, 7); d != Local {
-		t.Fatalf("XYTo(self) = %v, want Local", d)
+	if d := m.NextHop(7, 7); d != Local {
+		t.Fatalf("NextHop(self) = %v, want Local", d)
 	}
 }
 
 func TestHopDist(t *testing.T) {
-	if d := HopDist(4, 0, 15); d != 6 {
-		t.Fatalf("HopDist(0,15) = %d, want 6", d)
+	m := Mesh2D{W: 4, H: 4}
+	if d := m.Dist(0, 15); d != 6 {
+		t.Fatalf("Dist(0,15) = %d, want 6", d)
 	}
-	if d := HopDist(4, 5, 5); d != 0 {
-		t.Fatalf("HopDist(self) = %d, want 0", d)
+	if d := m.Dist(5, 5); d != 0 {
+		t.Fatalf("Dist(self) = %d, want 0", d)
 	}
-	if HopDist(4, 3, 12) != HopDist(4, 12, 3) {
-		t.Fatal("HopDist not symmetric")
+	if m.Dist(3, 12) != m.Dist(12, 3) {
+		t.Fatal("Dist not symmetric")
 	}
 }
 
 func TestNeighborOf(t *testing.T) {
 	// 4x4 mesh. Node 5 = (1,1).
+	m := Mesh2D{W: 4, H: 4}
 	cases := []struct {
 		d    Dir
 		want int
 		ok   bool
 	}{{North, 1, true}, {South, 9, true}, {East, 6, true}, {West, 4, true}}
 	for _, c := range cases {
-		got, ok := NeighborOf(4, 4, 5, c.d)
+		got, ok := m.Neighbor(5, c.d)
 		if got != c.want || ok != c.ok {
-			t.Fatalf("NeighborOf(5,%v) = %d,%v want %d,%v", c.d, got, ok, c.want, c.ok)
+			t.Fatalf("Neighbor(5,%v) = %d,%v want %d,%v", c.d, got, ok, c.want, c.ok)
 		}
 	}
 	// Edges.
-	if _, ok := NeighborOf(4, 4, 0, North); ok {
+	if _, ok := m.Neighbor(0, North); ok {
 		t.Fatal("node 0 should have no north neighbor")
 	}
-	if _, ok := NeighborOf(4, 4, 3, East); ok {
+	if _, ok := m.Neighbor(3, East); ok {
 		t.Fatal("node 3 should have no east neighbor")
 	}
-	if _, ok := NeighborOf(4, 4, 5, Local); ok {
+	if _, ok := m.Neighbor(5, Local); ok {
 		t.Fatal("Local is not a mesh neighbor")
 	}
 }
 
-// Property: following XYTo step by step always reaches the destination in
-// exactly HopDist hops.
+// Property: following NextHop step by step always reaches the destination
+// in exactly Dist hops.
 func TestXYRoutingConvergesProperty(t *testing.T) {
+	topo := Mesh2D{W: 8, H: 8}
 	err := quick.Check(func(a, b uint8) bool {
-		w, h := 8, 8
-		from, to := int(a)%(w*h), int(b)%(w*h)
+		from, to := int(a)%topo.Nodes(), int(b)%topo.Nodes()
 		cur := from
 		steps := 0
 		for cur != to {
-			d := XYTo(w, cur, to)
-			nb, ok := NeighborOf(w, h, cur, d)
+			d := topo.NextHop(cur, to)
+			nb, ok := topo.Neighbor(cur, d)
 			if !ok {
 				return false
 			}
 			cur = nb
 			steps++
-			if steps > w+h {
+			if steps > topo.W+topo.H {
 				return false
 			}
 		}
-		return steps == HopDist(w, from, to)
+		return steps == topo.Dist(from, to)
 	}, &quick.Config{MaxCount: 500})
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +123,7 @@ func TestXYRoutingConvergesProperty(t *testing.T) {
 func deliverySetup(t *testing.T, w, h int, pipeline int64) (*sim.Kernel, *Mesh, map[uint64]int64) {
 	t.Helper()
 	k := sim.NewKernel(1)
-	m := NewMesh(k, w, h, pipeline, 1, XYPolicy{})
+	m := testMesh(k, w, h, pipeline, 1, DestPolicy{})
 	delivered := make(map[uint64]int64)
 	m.EjectFn = func(node int, p *Packet, now int64) {
 		if node != p.Dst {
@@ -138,7 +147,7 @@ func TestSinglePacketLatency(t *testing.T) {
 	if !k.RunUntil(func() bool { return len(delivered) == 1 }, 1000) {
 		t.Fatal("packet never delivered")
 	}
-	d := HopDist(4, 0, 3)
+	d := Mesh2D{W: 4, H: 4}.Dist(0, 3)
 	want := start + pipeline + int64(d)*(1+pipeline) + 1
 	if delivered[p.ID] != want {
 		t.Fatalf("delivered at %d, want %d", delivered[p.ID], want)
@@ -245,13 +254,13 @@ func (c *consumePolicy) Route(r *Router, p *Packet, now int64) Steer {
 		c.consumed++
 		return st
 	}
-	return Steer{Out: XYTo(r.mesh.W, r.NodeID, p.Dst)}
+	return Steer{Out: r.Topo().NextHop(r.NodeID, p.Dst)}
 }
 
 func TestConsumeAndSpawn(t *testing.T) {
 	k := sim.NewKernel(1)
 	pol := &consumePolicy{at: 5}
-	m := NewMesh(k, 4, 4, 2, 1, pol)
+	m := testMesh(k, 4, 4, 2, 1, pol)
 	got := 0
 	m.EjectFn = func(node int, p *Packet, now int64) {
 		if node != 0 {
@@ -286,13 +295,13 @@ func (s *stallPolicy) Route(r *Router, p *Packet, now int64) Steer {
 			return Steer{Stall: true}
 		}
 	}
-	return Steer{Out: XYTo(r.mesh.W, r.NodeID, p.Dst)}
+	return Steer{Out: r.Topo().NextHop(r.NodeID, p.Dst)}
 }
 
 func TestStallHoldsPacketAndRecalls(t *testing.T) {
 	k := sim.NewKernel(1)
 	pol := &stallPolicy{at: 1, stalls: 10}
-	m := NewMesh(k, 4, 1, 2, 1, pol)
+	m := testMesh(k, 4, 1, 2, 1, pol)
 	var deliveredAt int64
 	m.EjectFn = func(node int, p *Packet, now int64) { deliveredAt = now }
 	m.Inject(0, &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 3, Flits: 1}, k.Now())
@@ -312,7 +321,7 @@ func TestStallHoldsPacketAndRecalls(t *testing.T) {
 func TestStallBlocksFIFOBehind(t *testing.T) {
 	k := sim.NewKernel(1)
 	pol := &stallPolicy{at: 1, stalls: 20}
-	m := NewMesh(k, 4, 1, 2, 1, pol)
+	m := testMesh(k, 4, 1, 2, 1, pol)
 	order := []uint64{}
 	m.EjectFn = func(node int, p *Packet, now int64) { order = append(order, p.ID) }
 	p1 := &Packet{ID: m.NextIDFor(0), Src: 0, Dst: 3, Flits: 1}
@@ -354,7 +363,7 @@ func TestExtraHopDelay(t *testing.T) {
 func TestRoundRobinFairness(t *testing.T) {
 	// Two input ports feed one output continuously; neither may starve.
 	k := sim.NewKernel(1)
-	m := NewMesh(k, 3, 1, 1, 1, XYPolicy{})
+	m := testMesh(k, 3, 1, 1, 1, DestPolicy{})
 	perSrc := map[int]int{}
 	m.EjectFn = func(node int, p *Packet, now int64) { perSrc[p.Src]++ }
 	// Nodes 0 and 2 both flood node 1.
@@ -373,17 +382,27 @@ func TestRoundRobinFairness(t *testing.T) {
 func TestMeshPanicsOnBadShape(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewMesh with zero width did not panic")
+			t.Fatal("Build with zero-width mesh did not panic")
 		}
 	}()
-	NewMesh(sim.NewKernel(1), 0, 4, 5, 1, XYPolicy{})
+	testMesh(sim.NewKernel(1), 0, 4, 5, 1, DestPolicy{})
 }
 
-func TestStepToward(t *testing.T) {
-	if n := StepToward(4, 4, 0, 15); n != 1 {
-		t.Fatalf("StepToward(0,15) = %d, want 1 (X first)", n)
+func TestBuildDefaultsAndValidation(t *testing.T) {
+	cfg := Config{Topo: Mesh2D{W: 2, H: 2}, Policy: DestPolicy{}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("minimal config invalid: %v", err)
 	}
-	if n := StepToward(4, 4, 15, 15); n != 15 {
-		t.Fatalf("StepToward(self) = %d, want 15", n)
+	if cfg.Pipeline != 1 || cfg.VCs != 1 {
+		t.Fatalf("defaults not applied: pipeline=%d vcs=%d", cfg.Pipeline, cfg.VCs)
+	}
+	if err := (&Config{Policy: DestPolicy{}}).Validate(); err == nil {
+		t.Fatal("nil Topo accepted")
+	}
+	if err := (&Config{Topo: Mesh2D{W: 2, H: 2}}).Validate(); err == nil {
+		t.Fatal("nil Policy accepted")
+	}
+	if err := (&Config{Topo: Mesh2D{W: 2, H: 2}, Policy: DestPolicy{}, Pipeline: -1}).Validate(); err == nil {
+		t.Fatal("negative pipeline accepted")
 	}
 }

@@ -1,0 +1,372 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxDegree is the largest inter-router port count any topology in this
+// package uses. Protocol state that records per-port link bits (the tree
+// engine's virtual tree lines, the model checker's link vectors) sizes its
+// arrays with this so a line's footprint is independent of the fabric it
+// runs on.
+const MaxDegree = 4
+
+// Link is one directed inter-router link: the packet leaves From through
+// output port Port and arrives at To. Topology.Links enumerates these for
+// fault-site naming, conformance tests and digests.
+type Link struct {
+	From int
+	Port Dir
+	To   int
+}
+
+func (l Link) String() string { return fmt.Sprintf("%d-%v->%d", l.From, l.Port, l.To) }
+
+// Topology abstracts the fabric the routers are wired into. Implementations
+// must be pure values: every method is a deterministic function of the
+// receiver and its arguments, so routing, fault schedules and digests are
+// reproducible across runs and processes.
+//
+// Ports are identified by Dir values 0..Degree()-1; Local is the node's
+// injection/ejection port on every topology. A topology's NextHop must be
+// minimal (each hop strictly decreases Dist) and deterministic, returning
+// Local exactly when from == to.
+type Topology interface {
+	// Spec returns the canonical parseable name, e.g. "mesh:4x4".
+	Spec() string
+	// Nodes returns the number of routers.
+	Nodes() int
+	// Degree returns the number of inter-router ports per router. Ports
+	// 0..Degree()-1 exist on every router; on open fabrics (the mesh)
+	// some have no neighbor.
+	Degree() int
+	// Neighbor returns the node reached by leaving node through port d,
+	// and whether that link exists.
+	Neighbor(node int, d Dir) (int, bool)
+	// Arrival returns the input port a packet sent out d arrives on at
+	// the neighbor.
+	Arrival(d Dir) Dir
+	// NextHop returns the output port for the next hop of a minimal
+	// deterministic route from -> to, or Local when from == to.
+	NextHop(from, to int) Dir
+	// Dist returns the minimal hop count from -> to.
+	Dist(from, to int) int
+	// Links enumerates every directed inter-router link, ordered by
+	// (From, Port).
+	Links() []Link
+}
+
+// enumLinks is the shared Links implementation: walk every node and port,
+// keep the ones with a neighbor.
+func enumLinks(t Topology) []Link {
+	var ls []Link
+	for n := 0; n < t.Nodes(); n++ {
+		for d := 0; d < t.Degree(); d++ {
+			if nb, ok := t.Neighbor(n, Dir(d)); ok {
+				ls = append(ls, Link{From: n, Port: Dir(d), To: nb})
+			}
+		}
+	}
+	return ls
+}
+
+// Mesh2D is the paper's fabric: a W-by-H grid with open edges and
+// dimension-ordered (X-Y) routing. Node i sits at (i%W, i/W); ports are
+// North, South, East, West. X-Y routing resolves the X offset first, then
+// Y, and is deadlock-free on a mesh.
+type Mesh2D struct {
+	W, H int
+}
+
+func (t Mesh2D) Spec() string      { return fmt.Sprintf("mesh:%dx%d", t.W, t.H) }
+func (t Mesh2D) Nodes() int        { return t.W * t.H }
+func (t Mesh2D) Degree() int       { return 4 }
+func (t Mesh2D) Arrival(d Dir) Dir { return d.Opposite() }
+func (t Mesh2D) Links() []Link     { return enumLinks(t) }
+
+func (t Mesh2D) Neighbor(node int, d Dir) (int, bool) {
+	x, y := node%t.W, node/t.W
+	switch d {
+	case North:
+		y--
+	case South:
+		y++
+	case East:
+		x++
+	case West:
+		x--
+	default:
+		return 0, false
+	}
+	if x < 0 || x >= t.W || y < 0 || y >= t.H {
+		return 0, false
+	}
+	return y*t.W + x, true
+}
+
+func (t Mesh2D) NextHop(from, to int) Dir {
+	fx, fy := from%t.W, from/t.W
+	tx, ty := to%t.W, to/t.W
+	switch {
+	case tx > fx:
+		return East
+	case tx < fx:
+		return West
+	case ty > fy:
+		return South
+	case ty < fy:
+		return North
+	}
+	return Local
+}
+
+func (t Mesh2D) Dist(from, to int) int {
+	dx := from%t.W - to%t.W
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := from/t.W - to/t.W
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Torus2D is the mesh with wraparound links: every router has all four
+// neighbors, edge nodes wrapping to the opposite edge. Routing is
+// dimension-ordered like the mesh but takes the shorter way around each
+// dimension, breaking exact ties toward East/South so the route stays a
+// pure function of (from, to). Wormhole tori need VC-based escape paths to
+// stay deadlock-free under bounded buffering; this simulator's input FIFOs
+// are unbounded, so wraparound routes cannot buffer-deadlock (only policy
+// stalls block, and those are bounded by the protocol's timeout recovery).
+type Torus2D struct {
+	W, H int
+}
+
+func (t Torus2D) Spec() string      { return fmt.Sprintf("torus:%dx%d", t.W, t.H) }
+func (t Torus2D) Nodes() int        { return t.W * t.H }
+func (t Torus2D) Degree() int       { return 4 }
+func (t Torus2D) Arrival(d Dir) Dir { return d.Opposite() }
+func (t Torus2D) Links() []Link     { return enumLinks(t) }
+
+func (t Torus2D) Neighbor(node int, d Dir) (int, bool) {
+	x, y := node%t.W, node/t.W
+	switch d {
+	case North:
+		y = (y - 1 + t.H) % t.H
+	case South:
+		y = (y + 1) % t.H
+	case East:
+		x = (x + 1) % t.W
+	case West:
+		x = (x - 1 + t.W) % t.W
+	default:
+		return 0, false
+	}
+	return y*t.W + x, true
+}
+
+func (t Torus2D) NextHop(from, to int) Dir {
+	fx, fy := from%t.W, from/t.W
+	tx, ty := to%t.W, to/t.W
+	if fx != tx {
+		if fwd := (tx - fx + t.W) % t.W; fwd <= t.W-fwd {
+			return East
+		}
+		return West
+	}
+	if fy != ty {
+		if fwd := (ty - fy + t.H) % t.H; fwd <= t.H-fwd {
+			return South
+		}
+		return North
+	}
+	return Local
+}
+
+func (t Torus2D) Dist(from, to int) int {
+	dx := (to%t.W - from%t.W + t.W) % t.W
+	if t.W-dx < dx {
+		dx = t.W - dx
+	}
+	dy := (to/t.W - from/t.W + t.H) % t.H
+	if t.H-dy < dy {
+		dy = t.H - dy
+	}
+	return dx + dy
+}
+
+// Ring is N routers on a bidirectional cycle. Port 0 steps clockwise
+// (node+1 mod N), port 1 counter-clockwise; routing takes the shorter way
+// around, breaking exact ties clockwise. Same unbounded-FIFO argument as
+// the torus for deadlock freedom.
+type Ring struct {
+	N int
+}
+
+// Ring port names, aliases of the first two Dir values.
+const (
+	CW  = Dir(0)
+	CCW = Dir(1)
+)
+
+func (t Ring) Spec() string  { return fmt.Sprintf("ring:%d", t.N) }
+func (t Ring) Nodes() int    { return t.N }
+func (t Ring) Degree() int   { return 2 }
+func (t Ring) Links() []Link { return enumLinks(t) }
+
+func (t Ring) Arrival(d Dir) Dir {
+	if d == CW {
+		return CCW
+	}
+	return CW
+}
+
+func (t Ring) Neighbor(node int, d Dir) (int, bool) {
+	switch d {
+	case CW:
+		return (node + 1) % t.N, true
+	case CCW:
+		return (node - 1 + t.N) % t.N, true
+	}
+	return 0, false
+}
+
+func (t Ring) NextHop(from, to int) Dir {
+	if from == to {
+		return Local
+	}
+	if fwd := (to - from + t.N) % t.N; fwd <= t.N-fwd {
+		return CW
+	}
+	return CCW
+}
+
+func (t Ring) Dist(from, to int) int {
+	fwd := (to - from + t.N) % t.N
+	if t.N-fwd < fwd {
+		return t.N - fwd
+	}
+	return fwd
+}
+
+// TopoSpec is the declarative, serializable description of a topology —
+// what configs, job specs and the CLI carry. The canonical string forms
+// are "mesh:WxH", "torus:WxH" and "ring:N"; TopoSpec marshals to exactly
+// that string in JSON, so spec hashes and server submissions stay
+// human-readable.
+type TopoSpec struct {
+	Kind string // "mesh", "torus" or "ring"
+	W, H int    // grid shape; rings store the node count in W with H == 1
+}
+
+// MeshSpec, TorusSpec and RingSpec build the three concrete specs.
+func MeshSpec(w, h int) TopoSpec  { return TopoSpec{Kind: "mesh", W: w, H: h} }
+func TorusSpec(w, h int) TopoSpec { return TopoSpec{Kind: "torus", W: w, H: h} }
+func RingSpec(n int) TopoSpec     { return TopoSpec{Kind: "ring", W: n, H: 1} }
+
+// ParseTopoSpec parses the canonical string form: "mesh:8x8", "torus:8x8",
+// "ring:64". A bare "WxH" is accepted as a mesh for compatibility with the
+// old -mcheck-mesh style arguments.
+func ParseTopoSpec(s string) (TopoSpec, error) {
+	kind, rest := "mesh", s
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		kind, rest = s[:i], s[i+1:]
+	}
+	switch kind {
+	case "mesh", "torus":
+		w, h, ok := strings.Cut(rest, "x")
+		wi, err1 := strconv.Atoi(w)
+		var hi int
+		var err2 error
+		if ok {
+			hi, err2 = strconv.Atoi(h)
+		}
+		if !ok || err1 != nil || err2 != nil {
+			return TopoSpec{}, fmt.Errorf("network: topology %q: want %s:WxH", s, kind)
+		}
+		t := TopoSpec{Kind: kind, W: wi, H: hi}
+		return t, t.Validate()
+	case "ring":
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return TopoSpec{}, fmt.Errorf("network: topology %q: want ring:N", s)
+		}
+		t := RingSpec(n)
+		return t, t.Validate()
+	}
+	return TopoSpec{}, fmt.Errorf("network: unknown topology kind %q (want mesh, torus or ring)", kind)
+}
+
+func (t TopoSpec) String() string {
+	if t.Kind == "ring" {
+		return fmt.Sprintf("ring:%d", t.W)
+	}
+	return fmt.Sprintf("%s:%dx%d", t.Kind, t.W, t.H)
+}
+
+// Nodes returns the router count. Kept branch-cheap: protocol home lookup
+// calls it per access.
+func (t TopoSpec) Nodes() int {
+	if t.Kind == "ring" {
+		return t.W
+	}
+	return t.W * t.H
+}
+
+// Validate reports structural errors Build would panic on.
+func (t TopoSpec) Validate() error {
+	switch t.Kind {
+	case "mesh":
+		if t.W < 1 || t.H < 1 {
+			return fmt.Errorf("network: bad mesh %dx%d", t.W, t.H)
+		}
+	case "torus":
+		if t.W < 2 || t.H < 2 {
+			return fmt.Errorf("network: bad torus %dx%d (wraparound needs W,H >= 2)", t.W, t.H)
+		}
+	case "ring":
+		if t.W < 2 {
+			return fmt.Errorf("network: bad ring size %d", t.W)
+		}
+	default:
+		return fmt.Errorf("network: unknown topology kind %q", t.Kind)
+	}
+	return nil
+}
+
+// Build instantiates the topology. Panics on an invalid spec; call
+// Validate first on untrusted input.
+func (t TopoSpec) Build() Topology {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	switch t.Kind {
+	case "torus":
+		return Torus2D{W: t.W, H: t.H}
+	case "ring":
+		return Ring{N: t.W}
+	}
+	return Mesh2D{W: t.W, H: t.H}
+}
+
+// MarshalJSON writes the canonical string form.
+func (t TopoSpec) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+// UnmarshalJSON accepts the canonical string form.
+func (t *TopoSpec) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	ts, err := ParseTopoSpec(s)
+	if err != nil {
+		return err
+	}
+	*t = ts
+	return nil
+}

@@ -1,8 +1,13 @@
-// Package network implements the on-chip interconnect: a 2-dimensional mesh
-// of wormhole routers with configurable pipeline depth, per-port virtual
-// channel FIFOs, round-robin output arbitration and dimension-ordered (X-Y)
-// routing, following the canonical router organization the paper assumes
-// (Section 2.3, Figure 4).
+// Package network implements the on-chip interconnect: a fabric of wormhole
+// routers with configurable pipeline depth, per-port virtual channel FIFOs,
+// age-based output arbitration and deterministic minimal routing, following
+// the canonical router organization the paper assumes (Section 2.3,
+// Figure 4). The fabric's shape lives behind the Topology interface: the
+// paper's open 2D mesh with X-Y routing (Mesh2D), its wraparound variant
+// (Torus2D) and a bidirectional ring (Ring) all drive the same router; a
+// router has Topology.Degree() inter-router ports plus the local
+// injection/ejection port and a generation port for protocol-spawned
+// traffic.
 //
 // Packets are modeled at packet granularity with flit-accurate link
 // occupancy: a packet's head flit spends the router's pipeline depth in each
@@ -18,10 +23,16 @@
 // Policy.
 package network
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
-// Dir identifies a router port. The four mesh directions double as virtual
-// tree link identifiers in the in-network protocol's tree cache lines.
+// Dir identifies a router port. Inter-router ports are 0..Degree()-1 on
+// every topology; on the mesh and torus the four carry their compass names
+// and double as virtual tree link identifiers in the in-network protocol's
+// tree cache lines. Local is the node's injection/ejection port on every
+// topology regardless of degree (the router maps it to its own port slot).
 type Dir uint8
 
 // Port directions. Local is the node's injection/ejection port.
@@ -33,9 +44,6 @@ const (
 	Local
 	DirNone // sentinel: no direction
 )
-
-// NumMeshDirs is the number of inter-router directions (N, S, E, W).
-const NumMeshDirs = 4
 
 func (d Dir) String() string {
 	switch d {
@@ -89,6 +97,14 @@ type Packet struct {
 	Flits   int
 	Payload interface{}
 
+	// DstSet, when non-nil, makes this a hardware-multicast packet: one
+	// packet carrying a destination set. DestPolicy routes it toward the
+	// set and forks clones at fan-out routers where members part ways;
+	// each copy collapses to a plain unicast (DstSet nil) once it carries
+	// a single destination. Dst tracks the lowest member for debugging
+	// and checksum stability; the routing authority is the set.
+	DstSet NodeSet
+
 	// ArrivalDir is the port this packet entered the current router on:
 	// Local for freshly injected or protocol-spawned packets. The
 	// in-network protocol uses it to orient new virtual tree links.
@@ -120,10 +136,12 @@ type Packet struct {
 	InjectedAt int64
 
 	// routed caches the policy decision so Route runs once per hop
-	// unless the policy stalls the packet. routeSeq is the global age
-	// stamp used by oldest-first output arbitration.
+	// unless the policy stalls the packet. outSlot is the granted output
+	// port slot (inter-router ports by number, then the local port).
+	// routeSeq is the global age stamp used by oldest-first output
+	// arbitration.
 	routed   bool
-	outPort  Dir
+	outSlot  int
 	routeSeq uint64
 	// pooled marks packets allocated from the mesh free-list
 	// (Mesh.AllocPacket): the mesh recycles them when they leave the
@@ -145,10 +163,12 @@ type Packet struct {
 func (p *Packet) SerialWait() int64 { return p.serialWait }
 
 // ChecksumOf computes p's header integrity word: a splitmix64 mix over the
-// fields that never change in flight (ID, Src, Dst, Class, Flits). The
-// payload is excluded deliberately — it is a protocol message the engines
-// mutate hop by hop — so the word is stable from injection to ejection
-// unless a fault flips it.
+// header fields (ID, Src, Dst, Class, Flits). The payload is excluded
+// deliberately — it is a protocol message the engines mutate hop by hop —
+// so the word is stable from injection to ejection unless a fault flips
+// it. The one legitimate in-flight mutation is a multicast fork or
+// collapse rewriting Dst, and DestPolicy restamps the word there, after
+// the router's own verification has already accepted the packet.
 func ChecksumOf(p *Packet) uint64 {
 	x := p.ID*0x9E3779B97F4A7C15 ^
 		uint64(p.Src)<<1 ^ uint64(p.Dst)<<17 ^
@@ -198,69 +218,51 @@ type Policy interface {
 	Route(r *Router, p *Packet, now int64) Steer
 }
 
-// XYTo returns the X-Y (dimension-ordered) next-hop direction from node
-// `from` toward node `to` on a w-wide mesh, or Local when from == to.
-// X-Y routing resolves the X offset first, then Y, and is deadlock-free on
-// a mesh.
-func XYTo(w int, from, to int) Dir {
-	fx, fy := from%w, from/w
-	tx, ty := to%w, to/w
-	switch {
-	case tx > fx:
-		return East
-	case tx < fx:
-		return West
-	case ty > fy:
-		return South
-	case ty < fy:
-		return North
+// NodeSet is a bitset of node ids, the destination set of a multicast
+// packet. The zero value is the empty set; Add grows it as needed.
+type NodeSet []uint64
+
+// Add returns the set with node n included, growing the backing words if
+// needed (append semantics: use the return value).
+func (s NodeSet) Add(n int) NodeSet {
+	for len(s) <= n/64 {
+		s = append(s, 0)
 	}
-	return Local
+	s[n/64] |= 1 << (uint(n) % 64)
+	return s
 }
 
-// HopDist returns the Manhattan distance between two nodes on a w-wide mesh.
-func HopDist(w int, a, b int) int {
-	ax, ay := a%w, a/w
-	bx, by := b%w, b/w
-	dx := ax - bx
-	if dx < 0 {
-		dx = -dx
-	}
-	dy := ay - by
-	if dy < 0 {
-		dy = -dy
-	}
-	return dx + dy
+// Has reports whether node n is in the set.
+func (s NodeSet) Has(n int) bool {
+	return n/64 < len(s) && s[n/64]&(1<<(uint(n)%64)) != 0
 }
 
-// StepToward returns the node one X-Y hop closer to `to` from `from`.
-func StepToward(w, h int, from, to int) int {
-	d := XYTo(w, from, to)
-	n, ok := NeighborOf(w, h, from, d)
-	if !ok {
-		return from
+// Count returns the number of members.
+func (s NodeSet) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
 	}
-	return n
+	return c
 }
 
-// NeighborOf returns the node id adjacent to `node` in direction d on a
-// w-by-h mesh, and whether such a neighbor exists.
-func NeighborOf(w, h, node int, d Dir) (int, bool) {
-	x, y := node%w, node/w
-	switch d {
-	case North:
-		y--
-	case South:
-		y++
-	case East:
-		x++
-	case West:
-		x--
-	default:
-		return 0, false
+// Min returns the lowest member, or -1 if the set is empty.
+func (s NodeSet) Min() int {
+	for i, w := range s {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
 	}
-	if x < 0 || x >= w || y < 0 || y >= h {
-		return 0, false
+	return -1
+}
+
+// ForEach calls fn for every member in ascending order.
+func (s NodeSet) ForEach(fn func(n int)) {
+	for i, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(i*64 + b)
+			w &^= 1 << uint(b)
+		}
 	}
-	return y*w + x, true
 }

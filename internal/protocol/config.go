@@ -1,12 +1,27 @@
 package protocol
 
-import "fmt"
+import (
+	"fmt"
+
+	"innetcc/internal/network"
+)
 
 // Config is the simulated memory-network configuration. DefaultConfig
 // reproduces the paper's Table 2.
 type Config struct {
-	// Mesh shape.
-	MeshW, MeshH int
+	// Topology is the interconnect fabric: the paper's open mesh
+	// ("mesh:WxH"), its wraparound variant ("torus:WxH") or a
+	// bidirectional ring ("ring:N"). It serializes as that canonical
+	// string, so job-spec hashes and server submissions stay readable.
+	Topology network.TopoSpec
+
+	// Multicast arms hardware multicast: the directory engine sends one
+	// destination-set invalidation packet that the routers fork at
+	// fan-out points, and the tree engine's teardown fan-out rides a
+	// single masked continuation forked at the spawning router. Off by
+	// default — the unicast path is the paper's model and the
+	// byte-identity baseline.
+	Multicast bool
 
 	// BasePipeline is the baseline router pipeline depth in cycles
 	// (5 in Table 2). The in-network implementation adds TreePipeline
@@ -94,7 +109,7 @@ type Config struct {
 // DefaultConfig returns the paper's nominal 16-node configuration (Table 2).
 func DefaultConfig() Config {
 	return Config{
-		MeshW: 4, MeshH: 4,
+		Topology:     network.MeshSpec(4, 4),
 		BasePipeline: 5,
 		TreePipeline: 1,
 		TreeEntries:  4096, TreeWays: 4,
@@ -113,8 +128,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// Nodes returns the node count.
-func (c Config) Nodes() int { return c.MeshW * c.MeshH }
+// Nodes returns the node count. Kept cheap: Home calls it per access.
+func (c Config) Nodes() int { return c.Topology.Nodes() }
 
 // Home returns the statically assigned home node of a line address. The
 // paper distributes homes across all processors by the low bits of the
@@ -124,9 +139,10 @@ func (c Config) Home(addr uint64) int { return int(addr % uint64(c.Nodes())) }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
 	switch {
-	case c.MeshW <= 0 || c.MeshH <= 0:
-		return fmt.Errorf("protocol: bad mesh %dx%d", c.MeshW, c.MeshH)
 	case c.BasePipeline < 1:
 		return fmt.Errorf("protocol: pipeline depth %d < 1", c.BasePipeline)
 	case c.TreeEntries <= 0 || c.TreeWays <= 0 || c.TreeEntries%c.TreeWays != 0:

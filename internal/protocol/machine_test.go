@@ -18,7 +18,11 @@ type echoEngine struct {
 
 func newEchoEngine(m *Machine) *echoEngine {
 	e := &echoEngine{m: m, service: 4}
-	mesh := network.NewMesh(m.Kernel, m.Cfg.MeshW, m.Cfg.MeshH, m.Cfg.BasePipeline, 1, network.XYPolicy{})
+	mesh := network.Build(m.Kernel, network.Config{
+		Topo:     m.Cfg.Topology.Build(),
+		Pipeline: m.Cfg.BasePipeline,
+		Policy:   network.DestPolicy{},
+	})
 	m.AttachEngine(e, mesh)
 	return e
 }
@@ -73,7 +77,7 @@ func echoTrace(scripts map[int][]trace.Access) *trace.Trace {
 
 func TestMachineRejectsBadConfig(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.MeshW = 0
+	cfg.Topology = network.TopoSpec{Kind: "mesh", W: 0, H: 4}
 	if _, err := NewMachine(cfg, echoTrace(nil), 5); err == nil {
 		t.Fatal("bad mesh accepted")
 	}
@@ -91,6 +95,9 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.L2Entries = -1 },
 		func(c *Config) { c.BackoffMax = c.BackoffMin - 1 },
 		func(c *Config) { c.CtrlFlits = 0 },
+		func(c *Config) { c.Topology = network.TopoSpec{Kind: "hypercube", W: 4, H: 4} },
+		func(c *Config) { c.Topology = network.TorusSpec(1, 4) },
+		func(c *Config) { c.Topology = network.RingSpec(1) },
 	}
 	for i, mod := range bad {
 		cfg := DefaultConfig()
@@ -250,7 +257,11 @@ func TestStuckReportNamesBlockedAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 	// blackholeEngine: swallows every miss.
-	mesh := network.NewMesh(m.Kernel, cfg.MeshW, cfg.MeshH, cfg.BasePipeline, 1, network.XYPolicy{})
+	mesh := network.Build(m.Kernel, network.Config{
+		Topo:     cfg.Topology.Build(),
+		Pipeline: cfg.BasePipeline,
+		Policy:   network.DestPolicy{},
+	})
 	m.AttachEngine(blackhole{}, mesh)
 	err = m.Run(1000)
 	if err == nil {

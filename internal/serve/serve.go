@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"innetcc/internal/exec"
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
 )
@@ -189,6 +190,13 @@ type SubmitRequest struct {
 	Shards    int    `json:"shards,omitempty"`
 	Metrics   bool   `json:"metrics,omitempty"`
 
+	// Topology overrides the fabric ("mesh:4x4", "torus:8x8", "ring:16");
+	// empty keeps the config's (or default's) fabric. Multicast switches
+	// hardware multicast on. Both are conveniences over shipping a full
+	// Config for the two knobs topology sweeps actually turn.
+	Topology  string `json:"topology,omitempty"`
+	Multicast bool   `json:"multicast,omitempty"`
+
 	Config *protocol.Config `json:"config,omitempty"`
 }
 
@@ -208,6 +216,16 @@ func (r SubmitRequest) BuildJob() (exec.Job, error) {
 	cfg := protocol.DefaultConfig()
 	if r.Config != nil {
 		cfg = *r.Config
+	}
+	if r.Topology != "" {
+		ts, err := network.ParseTopoSpec(r.Topology)
+		if err != nil {
+			return exec.Job{}, fmt.Errorf("serve: %w", err)
+		}
+		cfg.Topology = ts
+	}
+	if r.Multicast {
+		cfg.Multicast = true
 	}
 	seed := r.SuiteSeed
 	if seed == 0 {

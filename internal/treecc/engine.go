@@ -18,6 +18,12 @@ type Engine struct {
 	m     *protocol.Machine
 	trees []*cache.Cache[TreeLine]
 
+	// topo and deg cache the fabric shape the per-hop kernel routes
+	// against; deg bounds every link-bit scan so ring trees never look at
+	// ports the fabric does not have.
+	topo network.Topology
+	deg  int
+
 	// homeQueue holds requests that reached the home node while the
 	// line's tree was being torn down; they are re-released when the
 	// teardown completes (Requirement 1). The maps are per home node —
@@ -85,7 +91,14 @@ func New(m *protocol.Machine) *Engine {
 	if cfg.AboveNetworkTree {
 		pipeline = cfg.BasePipeline
 	}
-	mesh := network.NewMesh(m.Kernel, cfg.MeshW, cfg.MeshH, pipeline, 1, e)
+	e.topo = cfg.Topology.Build()
+	e.deg = e.topo.Degree()
+	mesh := network.Build(m.Kernel, network.Config{
+		Topo:     e.topo,
+		Pipeline: pipeline,
+		Policy:   e,
+		Clone:    protocol.CloneMsg,
+	})
 	if cfg.AboveNetworkTree {
 		for _, r := range mesh.Routers {
 			r.ExtraHopDelay = cfg.BasePipeline + cfg.DirLatency
@@ -228,8 +241,8 @@ func (e *Engine) serveRead(node int, msg *protocol.Msg) {
 		if e.m.Metrics != nil {
 			// Hops saved versus routing the request to the home node
 			// (can be negative when the serving sharer is farther).
-			saved := int64(network.HopDist(e.m.Cfg.MeshW, msg.Requester, e.home(addr)) -
-				network.HopDist(e.m.Cfg.MeshW, msg.Requester, node))
+			saved := int64(e.topo.Dist(msg.Requester, e.home(addr)) -
+				e.topo.Dist(msg.Requester, node))
 			e.m.Metrics.Add(metrics.CHopsSaved, saved)
 			e.m.Metrics.Event(now, metrics.EvSharerServe, int16(node), addr, saved)
 		}

@@ -22,7 +22,7 @@ import (
 //     with LocalValid set, and LocalValid lines have the data.
 func checkTreeInvariants(t *testing.T, m *protocol.Machine, e *Engine) {
 	t.Helper()
-	w, h := m.Cfg.MeshW, m.Cfg.MeshH
+	topo := e.topo
 	nodes := m.Cfg.Nodes()
 
 	type key struct {
@@ -44,13 +44,13 @@ func checkTreeInvariants(t *testing.T, m *protocol.Machine, e *Engine) {
 		if v.Touched {
 			t.Errorf("node %d addr %#x: line left Touched at quiescence", k.node, k.addr)
 		}
-		for d := 0; d < network.NumMeshDirs; d++ {
+		for d := 0; d < topo.Degree(); d++ {
 			if !v.Links[d] {
 				continue
 			}
-			nb, ok := network.NeighborOf(w, h, k.node, network.Dir(d))
+			nb, ok := topo.Neighbor(k.node, network.Dir(d))
 			if !ok {
-				t.Errorf("node %d addr %#x: link %v points off-mesh", k.node, k.addr, network.Dir(d))
+				t.Errorf("node %d addr %#x: link %v points off-fabric", k.node, k.addr, network.Dir(d))
 				continue
 			}
 			other, ok := lines[key{nb, k.addr}]
@@ -58,12 +58,12 @@ func checkTreeInvariants(t *testing.T, m *protocol.Machine, e *Engine) {
 				t.Errorf("node %d addr %#x: link %v dangles (no line at node %d)", k.node, k.addr, network.Dir(d), nb)
 				continue
 			}
-			if !other.Links[network.Dir(d).Opposite()] {
+			if !other.Links[topo.Arrival(network.Dir(d))] {
 				t.Errorf("addr %#x: asymmetric link %d->%d", k.addr, k.node, nb)
 			}
 		}
 		if !v.IsRoot {
-			if v.RootDir >= network.NumMeshDirs || !v.Links[v.RootDir] {
+			if int(v.RootDir) >= topo.Degree() || !v.Links[v.RootDir] {
 				t.Errorf("node %d addr %#x: RootDir %v is not a live link", k.node, k.addr, v.RootDir)
 			}
 		}
@@ -93,9 +93,9 @@ func checkTreeInvariants(t *testing.T, m *protocol.Machine, e *Engine) {
 			cur, steps := n, 0
 			for !lines[key{cur, addr}].IsRoot {
 				d := lines[key{cur, addr}].RootDir
-				nb, ok := network.NeighborOf(w, h, cur, d)
+				nb, ok := topo.Neighbor(cur, d)
 				if !ok {
-					t.Errorf("addr %#x: RootDir walk from %d fell off mesh", addr, n)
+					t.Errorf("addr %#x: RootDir walk from %d fell off fabric", addr, n)
 					break
 				}
 				if _, present := lines[key{nb, addr}]; !present {

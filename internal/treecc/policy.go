@@ -46,9 +46,13 @@ func (e *Engine) route(r *network.Router, p *network.Packet, msg *protocol.Msg, 
 }
 
 // routeHop moves teardown/ack packets: freshly spawned ones exit on their
-// forced link; arriving ones are consumed and processed here.
+// forced link (forking first when they carry a multicast port mask);
+// arriving ones are consumed and processed here.
 func (e *Engine) routeHop(r *network.Router, p *network.Packet, msg *protocol.Msg) network.Steer {
 	if p.ArrivalDir == network.Local {
+		if msg.ForcedMask != 0 {
+			return e.forkHop(r.NodeID, msg)
+		}
 		return network.Steer{Out: network.Dir(msg.ForcedDir)}
 	}
 	var spawns []*network.Packet
@@ -58,6 +62,36 @@ func (e *Engine) routeHop(r *network.Router, p *network.Packet, msg *protocol.Ms
 		spawns = e.processAck(r.NodeID, msg.Addr, p.ArrivalDir, msg.Unlink)
 	}
 	return network.Steer{Consume: true, Spawn: spawns}
+}
+
+// forkHop expands a masked multicast hop message at its spawning router:
+// the lowest set port keeps the original packet, every further port gets a
+// clone of the payload in its own expedited packet — the router-crossbar
+// replication hardware multicast buys. The mask is consumed here; each copy
+// travels on as an ordinary forced-direction hop message.
+func (e *Engine) forkHop(n int, msg *protocol.Msg) network.Steer {
+	mask := msg.ForcedMask
+	msg.ForcedMask = 0
+	primary := network.DirNone
+	var spawns []*network.Packet
+	for d := 0; d < e.deg; d++ {
+		if mask&(1<<uint(d)) == 0 {
+			continue
+		}
+		if primary == network.DirNone {
+			primary = network.Dir(d)
+			msg.ForcedDir = uint8(d)
+			continue
+		}
+		c := *msg
+		c.ForcedDir = uint8(d)
+		spawns = append(spawns, e.hopPacket(n, &c))
+	}
+	if primary == network.DirNone {
+		// Degenerate empty mask after masking to the fabric degree.
+		return network.Steer{Consume: true}
+	}
+	return network.Steer{Out: primary, Spawn: spawns}
 }
 
 // consumeToBackoff delays a deadlock-recovered request at the home node for
@@ -121,7 +155,7 @@ func (e *Engine) routeReadReq(r *network.Router, p *network.Packet, msg *protoco
 			// network (data cache access).
 			return network.Steer{Out: network.Local}
 		}
-		if !line.IsRoot && line.RootDir < network.NumMeshDirs && line.Links[line.RootDir] {
+		if !line.IsRoot && int(line.RootDir) < e.deg && line.Links[line.RootDir] {
 			// Part of the tree without data: steer toward the root.
 			e.m.Metrics.Add(metrics.CTreeBump, 1)
 			e.m.Metrics.Event(now, metrics.EvBump, int16(n), addr, int64(msg.Requester))
@@ -153,7 +187,7 @@ func (e *Engine) routeReadReq(r *network.Router, p *network.Packet, msg *protoco
 		msg.HomeServe = true
 		return network.Steer{Out: network.Local}
 	}
-	return network.Steer{Out: network.XYTo(e.m.Cfg.MeshW, n, home)}
+	return network.Steer{Out: e.topo.NextHop(n, home)}
 }
 
 // routeWriteReq implements Table 1's WR_REQ kernel, including the in-transit
@@ -223,7 +257,7 @@ func (e *Engine) routeWriteReq(r *network.Router, p *network.Packet, msg *protoc
 			e.m.Metrics.Event(now, metrics.EvProactiveEvict, int16(n), vaddr, int64(msg.Requester))
 		}
 	}
-	return network.Steer{Out: network.XYTo(e.m.Cfg.MeshW, n, home), Spawn: spawns}
+	return network.Steer{Out: e.topo.NextHop(n, home), Spawn: spawns}
 }
 
 // routeReply implements Table 1's RD_REPLY / WR_REPLY kernels: route toward
@@ -234,7 +268,6 @@ func (e *Engine) routeWriteReq(r *network.Router, p *network.Packet, msg *protoc
 func (e *Engine) routeReply(r *network.Router, p *network.Packet, msg *protocol.Msg, now int64) network.Steer {
 	n := r.NodeID
 	addr := msg.Addr
-	w := e.m.Cfg.MeshW
 
 	if p.ArrivalDir == network.Local && !msg.RequesterIsRoot {
 		// First router visit of a reply grafting onto an existing
@@ -260,7 +293,7 @@ func (e *Engine) routeReply(r *network.Router, p *network.Packet, msg *protocol.
 
 	line, ok := e.trees[n].Lookup(addr)
 	if ok && !line.Touched {
-		out := network.XYTo(w, n, msg.Requester)
+		out := e.topo.NextHop(n, msg.Requester)
 		if !msg.RequesterIsRoot {
 			// The reply re-entered the tree over a link it built at
 			// the previous node: recording the mirror bit here could
@@ -296,7 +329,7 @@ func (e *Engine) routeReply(r *network.Router, p *network.Packet, msg *protocol.
 			e.m.InvalidateLine(n, addr, now)
 			line.LocalValid = false
 		}
-		for d := 0; d < network.NumMeshDirs; d++ {
+		for d := 0; d < e.deg; d++ {
 			line.Links[d] = false
 		}
 		if p.ArrivalDir != network.Local {
@@ -322,7 +355,7 @@ func (e *Engine) routeReply(r *network.Router, p *network.Packet, msg *protocol.
 			return e.revertToRequest(n, msg)
 		}
 		if nl, allocated := e.trees[n].InsertNoEvict(addr); allocated {
-			out := network.XYTo(w, n, msg.Requester)
+			out := e.topo.NextHop(n, msg.Requester)
 			if p.ArrivalDir != network.Local {
 				nl.Links[p.ArrivalDir] = true
 			}
@@ -386,7 +419,7 @@ func (e *Engine) replyAtRequester(r *network.Router, p *network.Packet, msg *pro
 				e.m.InvalidateLine(n, addr, now)
 				line.LocalValid = false
 			}
-			for d := 0; d < network.NumMeshDirs; d++ {
+			for d := 0; d < e.deg; d++ {
 				line.Links[d] = false
 			}
 			if p.ArrivalDir != network.Local {
@@ -509,14 +542,13 @@ func (e *Engine) abortReply(n int, p *network.Packet, msg *protocol.Msg, now int
 // closerLink looks for an existing tree link at node n whose neighbor is
 // one hop closer to the target node.
 func (e *Engine) closerLink(n int, line *TreeLine, target int) (network.Dir, bool) {
-	w, h := e.m.Cfg.MeshW, e.m.Cfg.MeshH
-	cur := network.HopDist(w, n, target)
-	for d := 0; d < network.NumMeshDirs; d++ {
+	cur := e.topo.Dist(n, target)
+	for d := 0; d < e.deg; d++ {
 		if !line.Links[d] {
 			continue
 		}
-		nb, valid := network.NeighborOf(w, h, n, network.Dir(d))
-		if valid && network.HopDist(w, nb, target) < cur {
+		nb, valid := e.topo.Neighbor(n, network.Dir(d))
+		if valid && e.topo.Dist(nb, target) < cur {
 			return network.Dir(d), true
 		}
 	}

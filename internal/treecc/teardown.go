@@ -85,9 +85,25 @@ func (e *Engine) processTeardown(node int, addr uint64, arrival network.Dir, cle
 		}
 	}
 	var spawns []*network.Packet
-	for d := 0; d < network.NumMeshDirs; d++ {
+	var mask uint8
+	fanout := 0
+	for d := 0; d < e.deg; d++ {
 		if line.Links[d] && network.Dir(d) != arrival {
-			spawns = append(spawns, e.hopMsg(node, protocol.Teardown, addr, network.Dir(d)))
+			mask |= 1 << uint(d)
+			fanout++
+		}
+	}
+	if e.m.Cfg.Multicast && fanout > 1 {
+		// Hardware multicast: one masked continuation; the router forks
+		// it into per-link copies at the crossbar (see forkHop).
+		e.m.Counters.Inc("tree.td_multicasts", 1)
+		spawns = append(spawns, e.hopPacket(node,
+			&protocol.Msg{Type: protocol.Teardown, Addr: addr, ForcedMask: mask}))
+	} else {
+		for d := 0; d < e.deg; d++ {
+			if mask&(1<<uint(d)) != 0 {
+				spawns = append(spawns, e.hopMsg(node, protocol.Teardown, addr, network.Dir(d)))
+			}
 		}
 	}
 	if e.hasBug(BugEarlyHomeRelease) && node == e.home(addr) && line.LinkCount() > 0 {

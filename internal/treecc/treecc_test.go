@@ -3,6 +3,7 @@ package treecc
 import (
 	"testing"
 
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
 	"innetcc/internal/trace"
 )
@@ -230,7 +231,7 @@ func TestSmallL2TriggersRootEvictionTeardowns(t *testing.T) {
 
 func Test64NodeRunsClean(t *testing.T) {
 	cfg := smallConfig()
-	cfg.MeshW, cfg.MeshH = 8, 8
+	cfg.Topology = network.MeshSpec(8, 8)
 	p, _ := trace.ProfileByName("bar")
 	tr := trace.Generate(p, 64, 60, 21)
 	m, _ := runTrace(t, cfg, tr, p.Think)

@@ -16,8 +16,11 @@ import "innetcc/internal/network"
 // Touched at the home node), an outstanding-request bit and a bit recording
 // whether the local node holds valid data.
 type TreeLine struct {
-	// Links marks which physical links are virtual tree links.
-	Links [network.NumMeshDirs]bool
+	// Links marks which physical links are virtual tree links, indexed by
+	// output port. Sized for the largest fabric degree so a line's
+	// footprint is fabric-independent; ports beyond the running topology's
+	// degree stay false.
+	Links [network.MaxDegree]bool
 
 	// RootDir is the link leading toward the root node; meaningless at
 	// the root itself (IsRoot set). The paper encodes this in two bits

@@ -67,6 +67,14 @@ go run -race ./cmd/innetcc -exp fig5 -accesses 80 -jobs 4 -metrics \
 # with real goroutines under race).
 go run -race ./cmd/innetcc -exp fig5 -accesses 80 -jobs 2 -shards 2 >/dev/null
 
+# Topology smoke under the race detector: the fig5 sweep on a torus with
+# hardware multicast and on a ring, exercising the non-mesh routing and the
+# in-fabric invalidation forking through the full CLI path.
+go run -race ./cmd/innetcc -exp fig5 -accesses 80 -jobs 4 \
+    -topology torus:4x4 -multicast >/dev/null
+go run -race ./cmd/innetcc -exp fig5 -accesses 80 -jobs 4 \
+    -topology ring:16 >/dev/null
+
 # Parallel benchmark smoke: the 16x16 sharded-mesh series, recorded with the
 # host CPU count as BENCH_parallel.json so shard-engine regressions show up
 # in review diffs. One iteration by default (a smoke, not a measurement);
@@ -164,3 +172,27 @@ go test -run '^$' -bench 'KernelIdleMesh' -benchtime "$KERNEL_BENCHTIME" . |
             printf "}\n"
         }' > BENCH_kernel.json
 cat BENCH_kernel.json
+
+# Topology benchmark smoke: hardware-multicast invalidation traffic against
+# its unicast control on the 8x8 torus, recorded as BENCH_topology.json so
+# regressions in the fabric's packet forking show up in review diffs. One
+# iteration by default (the packet counts are deterministic per run); set
+# TOPOLOGY_BENCHTIME (e.g. 5x) to refresh the committed timings too.
+: "${TOPOLOGY_BENCHTIME:=1x}"
+go test -run '^$' -bench 'TopologyMulticast' -benchtime "$TOPOLOGY_BENCHTIME" . |
+    awk '
+        $1 ~ /^BenchmarkTopologyMulticast\// {
+            name = $1; sub(/-[0-9]+$/, "", name); sub(/^BenchmarkTopologyMulticast\//, "", name)
+            for (i = 2; i <= NF; i++) if ($(i+1) == "inv-packets") pk[name] = $i
+        }
+        END {
+            if (pk["Unicast"] == "" || pk["Multicast"] == "") { print "bench output missing" > "/dev/stderr"; exit 1 }
+            printf "{\n"
+            printf "  \"benchmark\": \"TopologyMulticast\",\n"
+            printf "  \"config\": \"8x8 torus, directory engine, wsp profile, 150 accesses/node\",\n"
+            printf "  \"unicast_inv_packets\": %s,\n", pk["Unicast"]
+            printf "  \"multicast_inv_packets\": %s,\n", pk["Multicast"]
+            printf "  \"packet_reduction\": %.2f\n", 1 - pk["Multicast"] / pk["Unicast"]
+            printf "}\n"
+        }' > BENCH_topology.json
+cat BENCH_topology.json
