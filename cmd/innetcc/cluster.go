@@ -1,0 +1,346 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"innetcc/internal/cluster"
+	"innetcc/internal/exec"
+	"innetcc/internal/serve"
+	"innetcc/internal/trace"
+)
+
+// clusterFlags carries the coordinator-, worker- and chaos-mode flag
+// values out of main.
+type clusterFlags struct {
+	coordinator string        // -coordinator: listen address, coordinator mode when non-empty
+	coordData   string        // -coord-data
+	lease       time.Duration // -lease
+	fallback    bool          // -local-fallback
+
+	join      string // -join: coordinator URL; with -serve, runs the membership agent
+	advertise string // -advertise: URL the coordinator reaches this worker at
+	workerID  string // -worker-id
+	slots     int    // worker capacity advertised to the coordinator (from -serve-workers)
+
+	chaos        string // -chaos: campaign spec ("none" = fault-free campaign), chaos mode when non-empty
+	chaosWorkers int    // -chaos-workers
+	chaosJobs    int    // -chaos-jobs
+	chaosTicks   int64  // -chaos-ticks
+	chaosDir     string // -chaos-dir ("" = temp dir)
+}
+
+// runCoordinator starts the cluster coordinator and blocks until SIGTERM
+// or SIGINT, then drains: dispatch loops pull a final checkpoint from
+// every remote job they can reach and park all unfinished jobs queued on
+// disk, so the next start re-dispatches them from their snapshots.
+func runCoordinator(w io.Writer, cf clusterFlags) error {
+	coord, err := cluster.New(cluster.Options{
+		DataDir:       cf.coordData,
+		Lease:         cf.lease,
+		LocalFallback: cf.fallback,
+	})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: cf.coordinator, Handler: coord.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(w, "coordinator: listening on %s (data: %s)\n", cf.coordinator, cf.coordData)
+		errCh <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		coord.Drain()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(w, "coordinator: signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hs.Shutdown(shutCtx)
+	coord.Drain()
+	fmt.Fprintln(w, "coordinator: drained (unfinished jobs parked with checkpoints)")
+	return nil
+}
+
+// runWorker runs the job server exactly like -serve and, alongside it,
+// the cluster membership agent: register with the coordinator, heartbeat,
+// re-register after coordinator restarts. SIGTERM stops the agent (so the
+// lease lapses and the coordinator reassigns) and drains the server —
+// in-flight simulations checkpoint and requeue on disk, and a restarted
+// worker re-registers and picks its own orphaned jobs back up.
+func runWorker(w io.Writer, sf serveFlags, cf clusterFlags) error {
+	tenants, err := serve.ParseTenants(sf.tenants)
+	if err != nil {
+		return err
+	}
+	slots := cf.slots
+	if slots <= 0 {
+		slots = 1
+	}
+	srv, err := serve.New(serve.Options{
+		DataDir:         sf.dataDir,
+		Workers:         sf.workers,
+		Tenants:         tenants,
+		DefaultQuota:    serve.Quota{MaxRunning: 2, MaxQueued: 64},
+		CheckpointEvery: sf.ckptEvry,
+	})
+	if err != nil {
+		return err
+	}
+	advertise := cf.advertise
+	if advertise == "" {
+		host, port, err := net.SplitHostPort(sf.addr)
+		if err != nil {
+			return fmt.Errorf("cannot derive -advertise from -serve %q: %w", sf.addr, err)
+		}
+		if host == "" {
+			host = "127.0.0.1"
+		}
+		advertise = "http://" + net.JoinHostPort(host, port)
+	}
+	id := cf.workerID
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = host + sf.addr
+	}
+	hs := &http.Server{Addr: sf.addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	agent := &cluster.Agent{
+		Coordinator: cf.join,
+		ID:          id,
+		Advertise:   advertise,
+		Slots:       slots,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	}
+	agentDone := make(chan struct{})
+	go func() {
+		defer close(agentDone)
+		agent.Run(ctx)
+	}()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(w, "worker %s: listening on %s, joining %s as %s (data: %s)\n",
+			id, sf.addr, cf.join, advertise, sf.dataDir)
+		errCh <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		stop()
+		<-agentDone
+		srv.Drain()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(w, "worker: signal received, draining")
+	<-agentDone
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hs.Shutdown(shutCtx)
+	srv.Drain()
+	fmt.Fprintln(w, "worker: drained (interrupted jobs checkpointed and requeued)")
+	return nil
+}
+
+// chaosSummary is the JSON report the -chaos campaign prints.
+type chaosSummary struct {
+	Spec       string         `json:"spec"`
+	Seed       uint64         `json:"seed"`
+	Workers    int            `json:"workers"`
+	Jobs       int            `json:"jobs"`
+	Done       int            `json:"done"`
+	Failed     int            `json:"failed"`
+	Mismatches int            `json:"mismatches"`
+	Ticks      int64          `json:"ticks"`
+	Kills      map[string]int `json:"kills"`
+	Partitions int            `json:"partitions"`
+	Reassigns  int64          `json:"reassigns"`
+	Resumes    int64          `json:"resumes"`
+	ElapsedSec float64        `json:"elapsed_sec"`
+	JobsPerSec float64        `json:"jobs_per_sec"`
+}
+
+// runChaos runs one self-contained chaos campaign in process: a
+// coordinator plus -chaos-workers workers on loopback ports, a batch of
+// -chaos-jobs jobs, and the seeded kill/partition schedule from the
+// -chaos spec driving the harness until the batch completes. Every result
+// is then re-derived by a direct in-process run and compared byte for
+// byte; the JSON summary reports completion, kills, migrations and
+// throughput. The spec "none" runs the same campaign fault-free (the
+// clean-cluster baseline the chaos numbers are read against).
+func runChaos(w io.Writer, cf clusterFlags, accesses int, seed uint64) error {
+	specText := cf.chaos
+	if specText == "none" {
+		specText = ""
+	}
+	spec, err := cluster.ParseChaosSpec(specText)
+	if err != nil {
+		return err
+	}
+	if spec.End == 0 || spec.End > cf.chaosTicks {
+		// Close the campaign window at the tick budget: past it the
+		// harness keeps stepping (so downed workers restart) but injects
+		// nothing more, and the batch runs out cleanly.
+		spec.End = cf.chaosTicks
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if accesses <= 0 {
+		accesses = 1200
+	}
+	dir := cf.chaosDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "innetcc-chaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	h, err := cluster.NewHarness(cluster.HarnessOptions{
+		Dir:     dir,
+		Workers: cf.chaosWorkers,
+		Plan:    spec.Plan(seed),
+		Worker:  serve.Options{SegmentCycles: 256, CheckpointEvery: 4096},
+		Logf: func(format string, args ...any) {
+			if strings.HasPrefix(format, "chaos tick") {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	profiles := trace.Benchmarks()
+	var reqs []serve.SubmitRequest
+	var ids []string
+	start := time.Now()
+	for i := 0; i < cf.chaosJobs; i++ {
+		p := profiles[i%len(profiles)]
+		engine := "dir"
+		if i%2 == 1 {
+			engine = "tree"
+		}
+		req := serve.SubmitRequest{
+			Tenant:    "chaos",
+			Profile:   p.Name,
+			Engine:    engine,
+			Accesses:  accesses,
+			SuiteSeed: seed + uint64(i),
+		}
+		rec, err := h.Coord.Submit(req)
+		if err != nil {
+			return fmt.Errorf("submit %s/%s: %w", p.Name, engine, err)
+		}
+		reqs = append(reqs, req)
+		ids = append(ids, rec.ID)
+	}
+
+	allDone := func() bool {
+		for _, id := range ids {
+			rec, err := h.Coord.Job(id)
+			if err != nil || !rec.Terminal() {
+				return false
+			}
+		}
+		return true
+	}
+	// Step until the batch completes: chaos injects inside the window,
+	// and stepping past it still restarts downed workers. The 10x budget
+	// is a hard stop against a wedged campaign.
+	for h.Tick() < 10*cf.chaosTicks && !allDone() && ctx.Err() == nil {
+		select {
+		case <-ctx.Done():
+		case <-time.After(100 * time.Millisecond):
+			h.Step()
+		}
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("chaos campaign interrupted at tick %d", h.Tick())
+	}
+	elapsed := time.Since(start)
+
+	sum := chaosSummary{
+		Spec:    spec.String(),
+		Seed:    seed,
+		Workers: cf.chaosWorkers,
+		Jobs:    len(ids),
+		Kills:   h.KillCounts(),
+		Ticks:   h.Tick(),
+	}
+	for _, ev := range h.Events() {
+		if ev.Kind == "partition" {
+			sum.Partitions++
+		}
+	}
+	for i, id := range ids {
+		rec, err := h.Coord.Job(id)
+		if err != nil {
+			return err
+		}
+		if rec.State != serve.StateDone {
+			sum.Failed++
+			fmt.Fprintf(os.Stderr, "chaos: job %s (%s/%s) %s: %s\n",
+				id, reqs[i].Profile, reqs[i].Engine, rec.State, rec.Error)
+			continue
+		}
+		sum.Done++
+		got, err := h.Coord.Result(id)
+		if err != nil {
+			return err
+		}
+		job, err := reqs[i].BuildJob()
+		if err != nil {
+			return err
+		}
+		want := exec.RunJob(job, exec.RunOptions{})
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		if string(gb) != string(wb) {
+			sum.Mismatches++
+			fmt.Fprintf(os.Stderr, "chaos: job %s (%s/%s) result differs from direct run\n",
+				id, reqs[i].Profile, reqs[i].Engine)
+		}
+	}
+	st := h.Coord.Stats()
+	sum.Reassigns = st.Reassigns
+	sum.Resumes = st.Resumes
+	sum.ElapsedSec = elapsed.Seconds()
+	if elapsed > 0 {
+		sum.JobsPerSec = float64(sum.Done) / elapsed.Seconds()
+	}
+	if err := printJSON(w, sum); err != nil {
+		return err
+	}
+	if sum.Failed > 0 || sum.Mismatches > 0 {
+		return fmt.Errorf("chaos campaign: %d failed, %d mismatched of %d jobs", sum.Failed, sum.Mismatches, sum.Jobs)
+	}
+	return nil
+}

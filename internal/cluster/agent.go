@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"innetcc/internal/serve"
+)
+
+// Agent is the worker-side membership loop: it registers the worker with
+// the coordinator, heartbeats at the interval the coordinator dictates,
+// and re-registers whenever the coordinator loses the registration (a
+// coordinator restart answers heartbeats with 404). The agent carries no
+// job logic — work arrives through the worker's own serve API — so its
+// only responsibility is keeping the lease fresh and the advertised URL
+// current.
+type Agent struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// ID is the stable worker identity; a restarted worker re-registers
+	// under the same ID (possibly with a new Advertise URL) and inherits
+	// its place in the registry.
+	ID string
+	// Advertise is the worker's own serve API base URL.
+	Advertise string
+	// Slots is the worker's concurrent-job capacity (<= 0 means 1).
+	Slots int
+	// HTTP overrides the transport (the chaos harness injects a
+	// partitionable one). Nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Logf, when non-nil, receives membership transitions.
+	Logf func(format string, args ...any)
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+// Run drives the membership loop until ctx ends. Registration failures
+// retry with backoff; heartbeat transport failures keep trying at the
+// heartbeat cadence (the lease expiring server-side is exactly the
+// intended outcome of a real partition, and resumed heartbeats revive
+// it); a 404 heartbeat falls back to registration.
+func (a *Agent) Run(ctx context.Context) error {
+	cl := &Client{serve.Client{Base: a.Coordinator, HTTP: a.HTTP, Timeout: 2 * time.Second}}
+	regBackoff := 100 * time.Millisecond
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		resp, err := cl.RegisterWorker(ctx, RegisterRequest{ID: a.ID, URL: a.Advertise, Slots: a.Slots})
+		if err != nil {
+			a.logf("cluster agent %s: register: %v", a.ID, err)
+			select {
+			case <-time.After(regBackoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if regBackoff *= 2; regBackoff > 2*time.Second {
+				regBackoff = 2 * time.Second
+			}
+			continue
+		}
+		regBackoff = 100 * time.Millisecond
+		hb := time.Duration(resp.HeartbeatMillis) * time.Millisecond
+		if hb <= 0 {
+			hb = time.Second
+		}
+		a.logf("cluster agent %s: registered at %s (heartbeat %v)", a.ID, a.Advertise, hb)
+
+		t := time.NewTicker(hb)
+		for {
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+			err := cl.HeartbeatWorker(ctx, a.ID)
+			if err == nil {
+				continue
+			}
+			if serve.StatusOf(err) == http.StatusNotFound {
+				// The coordinator forgot us (restart): re-register.
+				a.logf("cluster agent %s: lease lost, re-registering", a.ID)
+				t.Stop()
+				break
+			}
+			// Transport failure: keep heartbeating. If this is a real
+			// partition the lease expires server-side; when the partition
+			// heals the next heartbeat revives it.
+			a.logf("cluster agent %s: heartbeat: %v", a.ID, err)
+		}
+	}
+}

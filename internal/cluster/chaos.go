@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// chaosPPMScale is the rate denominator: chaos rates are parts per
+// million per opportunity, mirroring internal/fault.
+const chaosPPMScale = 1_000_000
+
+// ChaosSpec describes one cluster chaos campaign: how often workers are
+// killed and partitioned, how long they stay down or cut off, and the
+// tick window the campaign is active in. Time is measured in harness
+// ticks (the harness advances one tick every TickEvery of wall clock),
+// so a spec is wall-clock independent and a (spec, seed) pair names one
+// exact schedule. The zero value injects nothing; DefaultChaosSpec fills
+// the duration defaults ParseChaosSpec starts from.
+type ChaosSpec struct {
+	// KillPPM is the per-(tick, worker) probability, in parts per
+	// million, that a live worker is hard-killed (kill -9 semantics:
+	// serve.Server.Kill plus its listener dropped).
+	KillPPM uint32
+
+	// PartPPM is the per-(window, worker) probability that a live worker
+	// is partitioned from the cluster — its API unreachable and its
+	// heartbeats blocked — for a whole PartLen-tick window.
+	PartPPM uint32
+
+	// RestartTicks is how many ticks a killed worker stays down before
+	// the harness restarts it over the same data directory (default 4).
+	RestartTicks int64
+
+	// PartLen is the partition window length in ticks (default 2):
+	// partition sampling is per window, so a sampled window cuts the
+	// worker off for PartLen consecutive ticks, then heals.
+	PartLen int64
+
+	// Start and End bound the campaign in ticks; End == 0 leaves it
+	// open-ended. Chaos fires only at ticks in [Start, End).
+	Start, End int64
+}
+
+// DefaultChaosSpec returns the spec ParseChaosSpec starts from: nothing
+// injected, restart after 4 ticks down, 2-tick partitions.
+func DefaultChaosSpec() ChaosSpec {
+	return ChaosSpec{RestartTicks: 4, PartLen: 2}
+}
+
+// Injecting reports whether the spec schedules any chaos at all.
+func (s ChaosSpec) Injecting() bool { return s.KillPPM != 0 || s.PartPPM != 0 }
+
+// String renders the spec in the canonical full form ParseChaosSpec
+// accepts, so ParseChaosSpec(s.String()) == s for any valid spec.
+func (s ChaosSpec) String() string {
+	return fmt.Sprintf("kill=%d,part=%d,restart=%d,plen=%d,window=%d:%d",
+		s.KillPPM, s.PartPPM, s.RestartTicks, s.PartLen, s.Start, s.End)
+}
+
+// Validate reports spec field combinations no campaign can honor.
+func (s ChaosSpec) Validate() error {
+	switch {
+	case s.KillPPM > chaosPPMScale || s.PartPPM > chaosPPMScale:
+		return fmt.Errorf("cluster: chaos rates are parts per million, max %d (got kill=%d part=%d)",
+			chaosPPMScale, s.KillPPM, s.PartPPM)
+	case s.RestartTicks < 1:
+		return fmt.Errorf("cluster: restart %d < 1 tick", s.RestartTicks)
+	case s.PartLen < 1:
+		return fmt.Errorf("cluster: plen %d < 1 tick", s.PartLen)
+	case s.Start < 0 || s.End < 0:
+		return fmt.Errorf("cluster: negative chaos window [%d,%d)", s.Start, s.End)
+	case s.End != 0 && s.End <= s.Start:
+		return fmt.Errorf("cluster: empty chaos window [%d,%d)", s.Start, s.End)
+	}
+	return nil
+}
+
+// ParseChaosSpec parses the compact key=value,... chaos spec the CLI's
+// -chaos mode takes, e.g. "kill=80000,restart=3". Unset keys keep their
+// DefaultChaosSpec values; an empty string is the default spec (nothing
+// injected). Keys:
+//
+//	kill     per-tick worker kill rate in parts per million (0..1000000)
+//	part     per-window worker partition rate in parts per million
+//	restart  ticks a killed worker stays down (default 4)
+//	plen     partition window length in ticks (default 2)
+//	window   campaign window "start:end" in ticks (end empty or 0 = open)
+func ParseChaosSpec(text string) (ChaosSpec, error) {
+	s := DefaultChaosSpec()
+	if strings.TrimSpace(text) == "" {
+		return s, nil
+	}
+	for _, field := range strings.Split(text, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return ChaosSpec{}, fmt.Errorf("cluster: chaos %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "kill":
+			s.KillPPM, err = parseChaosPPM(val)
+		case "part":
+			s.PartPPM, err = parseChaosPPM(val)
+		case "restart":
+			s.RestartTicks, err = strconv.ParseInt(val, 10, 64)
+		case "plen":
+			s.PartLen, err = strconv.ParseInt(val, 10, 64)
+		case "window":
+			lo, hi, ok := strings.Cut(val, ":")
+			if !ok {
+				err = fmt.Errorf("want start:end, got %q", val)
+				break
+			}
+			if s.Start, err = strconv.ParseInt(lo, 10, 64); err != nil {
+				break
+			}
+			if hi == "" {
+				s.End = 0
+				break
+			}
+			s.End, err = strconv.ParseInt(hi, 10, 64)
+		default:
+			return ChaosSpec{}, fmt.Errorf("cluster: unknown chaos key %q", key)
+		}
+		if err != nil {
+			return ChaosSpec{}, fmt.Errorf("cluster: bad chaos %s: %v", key, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return ChaosSpec{}, err
+	}
+	return s, nil
+}
+
+func parseChaosPPM(val string) (uint32, error) {
+	n, err := strconv.ParseUint(val, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	if n > chaosPPMScale {
+		return 0, fmt.Errorf("rate %d exceeds %d ppm", n, chaosPPMScale)
+	}
+	return uint32(n), nil
+}
+
+// ChaosPlan binds a ChaosSpec to a seed: a complete, self-contained
+// chaos schedule. Every query is a pure hash of (seed, kind, tick,
+// worker) — same discipline as internal/fault.Plan — so identical plans
+// always agree regardless of wall clock, goroutine interleaving or how
+// often a site is queried, and the e2e chaos test is exactly as
+// reproducible as the simulations it runs.
+type ChaosPlan struct {
+	Spec ChaosSpec
+	Seed uint64
+}
+
+// Plan binds the spec to a seed.
+func (s ChaosSpec) Plan(seed uint64) ChaosPlan { return ChaosPlan{Spec: s, Seed: seed} }
+
+// Domain separators for the two sampling streams.
+const (
+	chaosKindKill uint64 = iota + 1
+	chaosKindPart
+)
+
+func (p ChaosPlan) active(tick int64) bool {
+	return tick >= p.Spec.Start && (p.Spec.End == 0 || tick < p.Spec.End)
+}
+
+// sample hashes one (stream, tick, worker) site into [0, chaosPPMScale).
+func (p ChaosPlan) sample(kind uint64, tick int64, worker int) uint64 {
+	x := p.Seed ^ uint64(tick)*0x9E3779B97F4A7C15
+	x ^= kind<<56 ^ uint64(worker)<<8
+	x = chaosMix(x + 0x9E3779B97F4A7C15)
+	x = chaosMix(x + 0x9E3779B97F4A7C15)
+	return x % chaosPPMScale
+}
+
+// KillAt reports whether the plan kills worker at tick (given the worker
+// is live then — the harness never kills what is already down).
+func (p ChaosPlan) KillAt(tick int64, worker int) bool {
+	return p.Spec.KillPPM != 0 && p.active(tick) &&
+		p.sample(chaosKindKill, tick, worker) < uint64(p.Spec.KillPPM)
+}
+
+// PartitionedAt reports whether worker is inside a sampled partition
+// window at tick. Windows are PartLen ticks long and sampled as a unit,
+// so partitions last a contiguous stretch and heal on their own.
+func (p ChaosPlan) PartitionedAt(tick int64, worker int) bool {
+	if p.Spec.PartPPM == 0 || !p.active(tick) {
+		return false
+	}
+	return p.sample(chaosKindPart, tick/p.Spec.PartLen, worker) < uint64(p.Spec.PartPPM)
+}
+
+// chaosMix is splitmix64's output function, the same mixer the fault and
+// experiment layers use for their schedule hashing.
+func chaosMix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

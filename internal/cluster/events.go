@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"innetcc/internal/serve"
+)
+
+// The coordinator exposes the same per-job event stream a single
+// serve.Server does (GET /v1/jobs/{id}/events, server-sent events with
+// Last-Event-ID resume), so serve.Client.Watch works against a cluster
+// unmodified. Events are synthesized coordinator-side: state transitions
+// as jobs are claimed, reassigned and finished, and progress ticks
+// mirrored from worker polls (or the local runner). A watcher therefore
+// sees the job's whole cluster life — including a mid-run migration as
+// running -> queued -> running — through one stream.
+
+// maxEventHistory bounds the per-job retained ring Last-Event-ID
+// reconnects replay from; older cursors resync via a synthetic state
+// event (same semantics as the serve layer).
+const maxEventHistory = 256
+
+// publishLocked assigns the event its job-local sequence ID, retains it
+// for replay and fans it out without blocking (a stalled subscriber
+// loses telemetry, never stalls a dispatch loop; terminal events evict
+// one queued entry so they always land). Callers hold c.mu.
+func (c *Coordinator) publishLocked(j *cjob, ev serve.Event) {
+	j.lastEv++
+	ev.ID = j.lastEv
+	j.hist = append(j.hist, ev)
+	if len(j.hist) > maxEventHistory {
+		j.hist = j.hist[len(j.hist)-maxEventHistory:]
+	}
+	terminal := ev.Type == "state" && ev.Record != nil && ev.Record.Terminal()
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			if terminal {
+				select {
+				case <-ch:
+				default:
+				}
+				select {
+				case ch <- ev:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// publishStateLocked emits a state event carrying the current record.
+// Callers hold c.mu.
+func (c *Coordinator) publishStateLocked(j *cjob) {
+	rec := j.rec
+	c.publishLocked(j, serve.Event{Type: "state", Record: &rec})
+}
+
+// closeSubsLocked ends every subscriber stream. Callers hold c.mu.
+func (c *Coordinator) closeSubsLocked(j *cjob) {
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
+// SubscribeAfter attaches an event listener to a job, replaying retained
+// events with IDs greater than after first (after < 0, or a cursor that
+// fell off the ring or belongs to another stream, gets one synthetic
+// state event with the current record). The channel closes after the
+// terminal state event; the returned unsubscribe is idempotent.
+func (c *Coordinator) SubscribeAfter(id string, after int64) (<-chan serve.Event, func(), error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.jobs[id]
+	if j == nil {
+		return nil, nil, serve.ErrUnknownJob
+	}
+	replay := j.replayLocked(after)
+	ch := make(chan serve.Event, len(replay)+64)
+	for _, ev := range replay {
+		ch <- ev
+	}
+	if j.rec.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.subs = append(j.subs, ch)
+	unsub := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for i, s := range j.subs {
+			if s == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, unsub, nil
+}
+
+// replayLocked computes the catch-up backlog for a subscriber that last
+// saw event ID after. Callers hold c.mu.
+func (j *cjob) replayLocked(after int64) []serve.Event {
+	if after >= j.lastEv {
+		if after > j.lastEv {
+			after = -1 // cursor from another stream (coordinator restart): resync
+		} else {
+			return nil
+		}
+	}
+	if after >= 0 && len(j.hist) > 0 && j.hist[0].ID <= after+1 {
+		out := make([]serve.Event, 0, len(j.hist))
+		for _, ev := range j.hist {
+			if ev.ID > after {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	rec := j.rec
+	return []serve.Event{{ID: j.lastEv, Type: "state", Record: &rec}}
+}
+
+// handleEvents streams a job's events as SSE until it reaches a terminal
+// state or the client disconnects, honoring Last-Event-ID on reconnect —
+// the same wire contract as the serve layer, so serve.Client.Watch (with
+// its reconnect loop) works against a coordinator as-is.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	after := int64(-1)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+			after = n
+		}
+	}
+	ch, unsub, err := c.SubscribeAfter(r.PathValue("id"), after)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer unsub()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, b); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"innetcc/internal/serve"
+)
+
+// Harness is the in-process chaos rig: one coordinator and N workers,
+// all real HTTP servers on loopback ports, with a seeded ChaosPlan
+// deciding — purely as a function of (seed, tick, worker) — when workers
+// are hard-killed, restarted over their own data directories, and
+// partitioned from the cluster. It is the engine behind the chaos e2e
+// tests and the CLI's -chaos mode.
+//
+// Kills are honest: the worker's serve.Server is stopped via Kill (no
+// final checkpoint, records left "running" on disk, exactly kill -9
+// state) and its HTTP listener is torn down mid-connection. Restarts
+// are honest too: a fresh serve.New over the same directory, on a new
+// port, re-registering through a fresh agent — the same code path a
+// supervisor restarting a crashed innetcc -serve process would take.
+// Partitions cut both planes at once: the worker's API aborts every
+// connection and the agent's heartbeats fail at the transport, so the
+// lease expires exactly as it would in a real network split.
+type Harness struct {
+	Coord *Coordinator
+	// URL is the coordinator's base URL; point any serve.Client (or
+	// cluster.Client) at it.
+	URL string
+
+	opt  HarnessOptions
+	plan ChaosPlan
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	coordLn  net.Listener
+	coordSrv *http.Server
+
+	workers []*chaosWorker
+
+	mu     sync.Mutex
+	tick   int64
+	events []ChaosEvent
+}
+
+// HarnessOptions configures a Harness.
+type HarnessOptions struct {
+	// Dir is the root directory: the coordinator persists under
+	// <Dir>/coord and worker i under <Dir>/w<i>. Required.
+	Dir string
+
+	// Workers is the fleet size (default 3); Slots the per-worker
+	// concurrency (default 1).
+	Workers int
+	Slots   int
+
+	// Plan is the seeded chaos schedule; a zero plan injects nothing.
+	Plan ChaosPlan
+
+	// TickEvery is the wall-clock length of one chaos tick (default
+	// 100ms).
+	TickEvery time.Duration
+
+	// Coordinator overrides coordinator options. Zero fields get
+	// chaos-appropriate defaults: 500ms leases, 25ms polling, DataDir
+	// under Dir.
+	Coordinator Options
+
+	// Worker is the per-worker serve.Options template; DataDir is
+	// assigned per worker, and zero Workers/quota/segment/checkpoint
+	// fields get defaults sized so mid-run kills always have periodic
+	// checkpoints to migrate.
+	Worker serve.Options
+
+	// Logf, when non-nil, receives chaos events as they happen.
+	Logf func(format string, args ...any)
+}
+
+// ChaosEvent records one harness action, in tick time.
+type ChaosEvent struct {
+	Tick   int64  `json:"tick"`
+	Worker string `json:"worker"`
+	Kind   string `json:"kind"` // "kill", "restart", "partition", "heal"
+}
+
+// chaosWorker is one worker process-equivalent: its serve.Server, HTTP
+// front door, membership agent, and chaos state. The partitioned flag
+// lives outside the restart cycle so a partition can span a restart.
+type chaosWorker struct {
+	idx  int
+	id   string
+	dir  string
+	sopt serve.Options
+
+	partitioned atomic.Bool
+
+	mu          sync.Mutex
+	srv         *serve.Server
+	hsrv        *http.Server
+	ln          net.Listener
+	agentCancel context.CancelFunc
+	agentDone   chan struct{}
+	down        bool
+	downAt      int64
+	kills       int
+}
+
+// NewHarness builds and starts the rig: coordinator listening, workers
+// up and registered. Call Step or Run to advance chaos, Close to tear
+// everything down.
+func NewHarness(opt HarnessOptions) (*Harness, error) {
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("cluster: harness needs a directory")
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 3
+	}
+	if opt.Slots <= 0 {
+		opt.Slots = 1
+	}
+	if opt.TickEvery <= 0 {
+		opt.TickEvery = 100 * time.Millisecond
+	}
+	copt := opt.Coordinator
+	if copt.DataDir == "" {
+		copt.DataDir = filepath.Join(opt.Dir, "coord")
+	}
+	if copt.Lease == 0 {
+		copt.Lease = 500 * time.Millisecond
+	}
+	if copt.PollEvery == 0 {
+		copt.PollEvery = 25 * time.Millisecond
+	}
+	if copt.CallTimeout == 0 {
+		copt.CallTimeout = time.Second
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &Harness{opt: opt, plan: opt.Plan, ctx: ctx, cancel: cancel}
+
+	coord, err := New(copt)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	h.Coord = coord
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		h.Close()
+		return nil, fmt.Errorf("cluster: harness: %w", err)
+	}
+	h.coordLn = ln
+	h.coordSrv = &http.Server{Handler: coord.Handler()}
+	go h.coordSrv.Serve(ln)
+	h.URL = "http://" + ln.Addr().String()
+
+	for i := 0; i < opt.Workers; i++ {
+		sopt := opt.Worker
+		sopt.DataDir = filepath.Join(opt.Dir, fmt.Sprintf("w%d", i))
+		if sopt.Workers <= 0 {
+			sopt.Workers = opt.Slots
+		}
+		if sopt.DefaultQuota.MaxRunning <= 0 {
+			sopt.DefaultQuota.MaxRunning = opt.Slots
+		}
+		if sopt.SegmentCycles == 0 {
+			sopt.SegmentCycles = 256
+		}
+		if sopt.CheckpointEvery == 0 {
+			sopt.CheckpointEvery = 1024
+		}
+		w := &chaosWorker{idx: i, id: fmt.Sprintf("w%d", i), dir: sopt.DataDir, sopt: sopt}
+		if err := h.startWorker(w); err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.workers = append(h.workers, w)
+	}
+	return h, nil
+}
+
+// startWorker boots (or reboots) one worker: server over its data
+// directory, partition-gated listener, fresh membership agent.
+func (h *Harness) startWorker(w *chaosWorker) error {
+	srv, err := serve.New(w.sopt)
+	if err != nil {
+		return fmt.Errorf("cluster: harness: worker %s: %w", w.id, err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Drain()
+		return fmt.Errorf("cluster: harness: worker %s: %w", w.id, err)
+	}
+	hsrv := &http.Server{Handler: &partitionGate{flag: &w.partitioned, next: srv.Handler()}}
+	go hsrv.Serve(ln)
+
+	agentCtx, agentCancel := context.WithCancel(h.ctx)
+	agent := &Agent{
+		Coordinator: h.URL,
+		ID:          w.id,
+		Advertise:   "http://" + ln.Addr().String(),
+		Slots:       h.opt.Slots,
+		HTTP: &http.Client{
+			Transport: &partitionTransport{flag: &w.partitioned},
+			Timeout:   2 * time.Second,
+		},
+		Logf: h.opt.Logf,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		agent.Run(agentCtx)
+	}()
+
+	w.mu.Lock()
+	w.srv = srv
+	w.hsrv = hsrv
+	w.ln = ln
+	w.agentCancel = agentCancel
+	w.agentDone = done
+	w.down = false
+	w.mu.Unlock()
+	return nil
+}
+
+// killWorker hard-stops one worker: front door torn down mid-connection,
+// server killed without any final persistence, agent silenced.
+func (h *Harness) killWorker(w *chaosWorker, tick int64) {
+	w.mu.Lock()
+	srv, hsrv, cancel, done := w.srv, w.hsrv, w.agentCancel, w.agentDone
+	w.down = true
+	w.downAt = tick
+	w.kills++
+	w.mu.Unlock()
+
+	cancel()
+	hsrv.Close() // severs the listener and every active connection
+	srv.Kill()   // kill -9 semantics: no final checkpoint, records stay "running"
+	<-done
+	w.partitioned.Store(false)
+}
+
+// Step advances chaos by one tick, applying the plan's kills, restarts
+// and partitions. It is safe to call while jobs are in flight — that is
+// the point.
+func (h *Harness) Step() {
+	h.mu.Lock()
+	tick := h.tick
+	h.tick++
+	h.mu.Unlock()
+
+	for _, w := range h.workers {
+		w.mu.Lock()
+		down, downAt := w.down, w.downAt
+		w.mu.Unlock()
+		if down {
+			if tick-downAt >= h.plan.Spec.RestartTicks {
+				if err := h.startWorker(w); err == nil {
+					h.event(tick, w.id, "restart")
+				}
+			}
+			continue
+		}
+		if h.plan.KillAt(tick, w.idx) {
+			h.killWorker(w, tick)
+			h.event(tick, w.id, "kill")
+			continue
+		}
+		want := h.plan.PartitionedAt(tick, w.idx)
+		if want != w.partitioned.Load() {
+			w.partitioned.Store(want)
+			if want {
+				h.event(tick, w.id, "partition")
+			} else {
+				h.event(tick, w.id, "heal")
+			}
+		}
+	}
+}
+
+// Run advances up to ticks chaos ticks at the configured cadence,
+// stopping early when ctx ends. It returns the number of ticks stepped.
+func (h *Harness) Run(ctx context.Context, ticks int64) int64 {
+	for i := int64(0); i < ticks; i++ {
+		select {
+		case <-ctx.Done():
+			return i
+		case <-time.After(h.opt.TickEvery):
+		}
+		h.Step()
+	}
+	return ticks
+}
+
+func (h *Harness) event(tick int64, worker, kind string) {
+	if h.opt.Logf != nil {
+		h.opt.Logf("chaos tick %d: %s %s", tick, kind, worker)
+	}
+	h.mu.Lock()
+	h.events = append(h.events, ChaosEvent{Tick: tick, Worker: worker, Kind: kind})
+	h.mu.Unlock()
+}
+
+// Events returns a copy of everything the harness has done so far.
+func (h *Harness) Events() []ChaosEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ChaosEvent, len(h.events))
+	copy(out, h.events)
+	return out
+}
+
+// KillCounts reports how many times each worker was killed.
+func (h *Harness) KillCounts() map[string]int {
+	out := make(map[string]int, len(h.workers))
+	for _, w := range h.workers {
+		w.mu.Lock()
+		out[w.id] = w.kills
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// Tick returns the current chaos tick.
+func (h *Harness) Tick() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tick
+}
+
+// Close tears the rig down: agents stopped, live workers drained
+// gracefully, coordinator drained, listeners closed.
+func (h *Harness) Close() {
+	h.cancel()
+	for _, w := range h.workers {
+		w.mu.Lock()
+		srv, hsrv, done, down := w.srv, w.hsrv, w.agentDone, w.down
+		w.mu.Unlock()
+		if down {
+			continue
+		}
+		if done != nil {
+			<-done
+		}
+		if hsrv != nil {
+			hsrv.Close()
+		}
+		if srv != nil {
+			srv.Drain()
+		}
+	}
+	if h.Coord != nil {
+		h.Coord.Drain()
+	}
+	if h.coordSrv != nil {
+		h.coordSrv.Close()
+	}
+}
+
+// partitionGate fronts a worker's HTTP API: while the flag is up every
+// request aborts its connection without a response — the coordinator
+// sees a transport failure, indistinguishable from a network split.
+type partitionGate struct {
+	flag *atomic.Bool
+	next http.Handler
+}
+
+func (g *partitionGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.flag.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	g.next.ServeHTTP(w, r)
+}
+
+// partitionTransport is the agent-side half of a partition: heartbeats
+// and registrations fail at the transport while the flag is up, so the
+// worker's lease expires exactly as in a real split.
+type partitionTransport struct {
+	flag *atomic.Bool
+}
+
+func (t *partitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.flag.Load() {
+		return nil, fmt.Errorf("cluster harness: partitioned")
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}

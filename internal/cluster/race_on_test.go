@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster
+
+// raceEnabled flags race-detector builds so the heavyweight e2e tests can
+// scale their workloads down: instrumented simulation is roughly an order
+// of magnitude slower, and the tests assert fault-tolerance properties,
+// not throughput.
+const raceEnabled = true

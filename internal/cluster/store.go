@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"innetcc/internal/serve"
+)
+
+// persistedJob is the durable form of one coordinator job: the
+// client-visible record, the original submission (needed to re-dispatch
+// after a restart), and the redispatch count so the give-up bound
+// survives restarts too.
+type persistedJob struct {
+	Rec          serve.JobRecord     `json:"rec"`
+	Req          serve.SubmitRequest `json:"req"`
+	Redispatches int                 `json:"redispatches,omitempty"`
+}
+
+// cstore persists coordinator state under the data directory:
+//
+//	<dir>/jobs/<id>.json   one persistedJob per job, written atomically
+//	<dir>/snap/<id>.snap   latest migrated checkpoint of a dispatched job
+//	<dir>/cache/           the exec result cache (opened by the coordinator)
+type cstore struct {
+	dir string
+}
+
+func openCStore(dir string) (*cstore, error) {
+	for _, sub := range []string{"jobs", "snap", "cache"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: store: %w", err)
+		}
+	}
+	return &cstore{dir: dir}, nil
+}
+
+func (s *cstore) cacheDir() string { return filepath.Join(s.dir, "cache") }
+
+func (s *cstore) jobPath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+".json")
+}
+
+func (s *cstore) snapPath(id string) string {
+	return filepath.Join(s.dir, "snap", id+".snap")
+}
+
+// putJob writes the job atomically (temp file + rename): a crash leaves
+// the previous version, never a torn one.
+func (s *cstore) putJob(pj *persistedJob) error {
+	b, err := json.Marshal(pj)
+	if err != nil {
+		return fmt.Errorf("cluster: store: %w", err)
+	}
+	return atomicWrite(s.jobPath(pj.Rec.ID), b)
+}
+
+// loadJobs reads every decodable persisted job; torn or damaged files
+// are skipped, not fatal.
+func (s *cstore) loadJobs() ([]*persistedJob, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: store: %w", err)
+	}
+	var out []*persistedJob
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.dir, "jobs", e.Name()))
+		if err != nil {
+			continue
+		}
+		var pj persistedJob
+		if json.Unmarshal(b, &pj) != nil || pj.Rec.ID == "" {
+			continue
+		}
+		out = append(out, &pj)
+	}
+	return out, nil
+}
+
+func (s *cstore) putSnap(id string, b []byte) error {
+	return atomicWrite(s.snapPath(id), b)
+}
+
+func (s *cstore) snapBytes(id string) ([]byte, error) {
+	return os.ReadFile(s.snapPath(id))
+}
+
+func (s *cstore) dropSnap(id string) { os.Remove(s.snapPath(id)) }
+
+func atomicWrite(path string, b []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp*")
+	if err != nil {
+		return fmt.Errorf("cluster: store: %w", err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cluster: store: write failed")
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cluster: store: %w", err)
+	}
+	return nil
+}

@@ -79,7 +79,7 @@ func RunJob(job Job, opt RunOptions) Result {
 	resume := opt.Resume
 	start := 0
 	if resume != nil {
-		if resume.Job.Hash() != job.Hash() || resume.Attempt > job.Retries {
+		if !resume.CompatibleWith(job) {
 			resume = nil // snapshot of some other job, or stale retry budget
 		} else {
 			// Attempts 0..Attempt-1 already failed transiently before the

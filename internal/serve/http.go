@@ -5,18 +5,20 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the server's HTTP API:
 //
-//	POST /v1/jobs               submit (SubmitRequest -> JobRecord)
-//	GET  /v1/jobs               list records (?tenant= filters)
-//	GET  /v1/jobs/{id}          one record
-//	GET  /v1/jobs/{id}/result   terminal result payload
-//	POST /v1/jobs/{id}/cancel   cancel queued/running job
-//	GET  /v1/jobs/{id}/events   server-sent events progress stream
-//	GET  /v1/stats              queue/tenant/cache accounting
-//	GET  /healthz               liveness
+//	POST /v1/jobs                 submit (SubmitRequest -> JobRecord)
+//	GET  /v1/jobs                 list records (?tenant= filters)
+//	GET  /v1/jobs/{id}            one record
+//	GET  /v1/jobs/{id}/result     terminal result payload
+//	POST /v1/jobs/{id}/cancel     cancel queued/running job
+//	GET  /v1/jobs/{id}/events     server-sent events progress stream
+//	GET  /v1/jobs/{id}/snapshot   latest checkpoint bytes (hand-off export)
+//	GET  /v1/stats                queue/tenant/cache accounting
+//	GET  /healthz                 liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -25,6 +27,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -43,10 +46,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrUnknownJob):
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrNoSnapshot):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrQuotaExceeded):
 		code = http.StatusTooManyRequests
+		// Quota pressure is transient: tell well-behaved clients when to
+		// come back instead of letting them hammer the endpoint.
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
@@ -106,9 +112,18 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams the job's Event feed as server-sent events until the
-// job reaches a terminal state or the client disconnects.
+// job reaches a terminal state or the client disconnects. A reconnecting
+// client sends the standard Last-Event-ID header and the stream resumes
+// after that event (replayed from the server's retained ring) instead of
+// restarting or silently missing the terminal transition.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	ch, unsub, err := s.Subscribe(r.PathValue("id"))
+	after := int64(-1)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+			after = n
+		}
+	}
+	ch, unsub, err := s.SubscribeAfter(r.PathValue("id"), after)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -133,7 +148,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
-			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b); err != nil {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, b); err != nil {
 				return
 			}
 			fl.Flush()
@@ -141,4 +156,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleSnapshot exports the job's latest checkpoint bytes for hand-off to
+// another worker. 404 when the job is unknown or has no usable snapshot.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	b, err := s.SnapshotBytes(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
 }

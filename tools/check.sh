@@ -1,8 +1,10 @@
 #!/bin/sh
 # Repository check: build, vet, race-enabled tests, fuzz smoke passes over
 # the trace-file and fault-spec parsers, a race-enabled fault-injection
-# smoke (drop-plan recovery per engine + watchdog dump), and a race-enabled
-# metrics-instrumented experiment run. CI runs exactly this script
+# smoke (drop-plan recovery per engine + watchdog dump), a race-enabled
+# metrics-instrumented experiment run, and a race-enabled cluster chaos
+# campaign (coordinator + workers with seeded kills; results byte-compared
+# against direct runs). CI runs exactly this script
 # (.github/workflows/ci.yml) so local and CI results agree.
 set -eux
 
@@ -196,3 +198,42 @@ go test -run '^$' -bench 'TopologyMulticast' -benchtime "$TOPOLOGY_BENCHTIME" . 
             printf "}\n"
         }' > BENCH_topology.json
 cat BENCH_topology.json
+
+# Cluster smoke under the race detector: coordinator plus three workers in
+# process, a seeded kill/restart campaign driven by -chaos. The command
+# byte-compares every completed job against a direct in-process run and
+# exits non-zero on any lost or corrupted result, so this line alone
+# asserts the fan-out survives worker death.
+go run -race ./cmd/innetcc -chaos 'kill=40000,restart=10,window=2:0' \
+    -chaos-workers 3 -chaos-jobs 8 -chaos-ticks 40 -accesses 800 -seed 3 >/dev/null
+
+# Cluster benchmark smoke: the same campaign fault-free (the clean-cluster
+# baseline) and with the kill schedule, recorded as BENCH_cluster.json so
+# fan-out throughput and recovery-path regressions show up in review diffs.
+# The chaos CLI already emits JSON; the awk pass just merges the two runs.
+CLUSTER_TMP=$(mktemp -d)
+go build -o "$CLUSTER_TMP/innetcc" ./cmd/innetcc
+"$CLUSTER_TMP/innetcc" -chaos none -chaos-workers 3 -chaos-jobs 8 \
+    -chaos-ticks 40 -accesses 1200 -seed 3 > "$CLUSTER_TMP/clean.json"
+"$CLUSTER_TMP/innetcc" -chaos 'kill=40000,restart=10,window=2:0' -chaos-workers 3 \
+    -chaos-jobs 8 -chaos-ticks 40 -accesses 1200 -seed 3 > "$CLUSTER_TMP/chaos.json"
+awk '
+    FNR == 1 { f++ }
+    /"jobs_per_sec"/ { gsub(/[",]/, ""); jps[f] = $2 }
+    /"reassigns"/    { gsub(/[",]/, ""); re[f] = $2 }
+    /"resumes"/      { gsub(/[",]/, ""); rs[f] = $2 }
+    /"w[0-9]+"/      { gsub(/[",:]/, ""); kills[f] += $2 }
+    END {
+        if (jps[1] == "" || jps[2] == "") { print "chaos output missing" > "/dev/stderr"; exit 1 }
+        printf "{\n"
+        printf "  \"benchmark\": \"ClusterChaos\",\n"
+        printf "  \"config\": \"3 workers, 8 jobs (8 profiles, alternating engines, 1200 accesses), kill=4%% per worker-tick over 40 ticks\",\n"
+        printf "  \"clean_jobs_per_sec\": %s,\n", jps[1]
+        printf "  \"chaos_jobs_per_sec\": %s,\n", jps[2]
+        printf "  \"chaos_kills\": %d,\n", kills[2]
+        printf "  \"chaos_reassigns\": %s,\n", re[2]
+        printf "  \"chaos_resumes\": %s,\n", rs[2]
+        printf "  \"chaos_slowdown\": %.2f\n", jps[1] / jps[2]
+        printf "}\n"
+    }' "$CLUSTER_TMP/clean.json" "$CLUSTER_TMP/chaos.json" > BENCH_cluster.json
+cat BENCH_cluster.json
