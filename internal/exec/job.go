@@ -83,10 +83,13 @@ type Job struct {
 	Retries int
 
 	// Shards is the number of worker shards one simulation is split
-	// across (<= 1 means serial). The sharded engine is byte-identical to
-	// serial execution at every shard count, so Shards is a pure
-	// throughput knob: it is deliberately excluded from the cache hash,
-	// and a result computed at any shard count serves every other.
+	// across: 0 picks automatically (sim.AutoShards plus the kernel's
+	// occupancy-driven width tuner, which keeps small or idle simulations
+	// effectively serial), 1 forces serial, higher counts are explicit.
+	// The sharded engine is byte-identical to serial execution at every
+	// shard count, so Shards is a pure throughput knob: it is
+	// deliberately excluded from the cache hash, and a result computed at
+	// any shard count serves every other.
 	Shards int
 }
 

@@ -38,10 +38,11 @@ type Options struct {
 	Jobs int
 
 	// Shards splits each individual simulation across this many worker
-	// shards (<= 1 runs serially). The sharded engine is byte-identical
-	// to serial execution, so this — like Jobs — never changes results,
-	// only wall-clock time. Prefer Jobs for batches with many jobs and
-	// Shards for a few large simulations.
+	// shards: 0 picks automatically per job (sim.AutoShards + the
+	// kernel's occupancy tuner), 1 forces serial. The sharded engine is
+	// byte-identical to serial execution, so this — like Jobs — never
+	// changes results, only wall-clock time. Prefer Jobs for batches with
+	// many jobs and explicit Shards for a few large simulations.
 	Shards int
 
 	// CacheDir, when non-empty, enables the on-disk result cache there:
@@ -187,7 +188,7 @@ func runJobs(opt Options, jobs []exec.Job) ([]exec.Result, error) {
 			jobs[i].Config.Multicast = true
 		}
 	}
-	if opt.Shards > 1 {
+	if opt.Shards >= 1 {
 		for i := range jobs {
 			jobs[i].Shards = opt.Shards
 		}

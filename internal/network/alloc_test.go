@@ -51,6 +51,30 @@ func TestIdleRouterTickZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSoAHotPathZeroAllocsMultiRouter is the structure-of-arrays regression
+// guard: with several packets in flight across a row of routers — FIFO ring
+// reuse, busyTill credit updates, arbitration stamps and barrier mailbox
+// hand-offs all live in the mesh's flat arrays — a steady-state kernel step
+// must still allocate nothing. A refactor that reintroduces per-tick heap
+// state (boxing, slice growth, map lookups) fails here before it shows up
+// in profiles.
+func TestSoAHotPathZeroAllocsMultiRouter(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := testMesh(k, 4, 1, 2, 2, pingPongPolicy{})
+	m.EjectFn = func(int, *Packet, int64) {}
+	for i := 0; i < 3; i++ {
+		p := m.AllocPacketFor(i)
+		p.ID = m.NextIDFor(i)
+		p.Flits = 1 + i
+		m.Inject(i, p, k.Now())
+	}
+	k.Run(200) // warm every ring and mailbox on the packets' orbit
+	allocs := testing.AllocsPerRun(1000, func() { k.Step() })
+	if allocs != 0 {
+		t.Fatalf("steady-state multi-router step allocated %.2f per run, want 0", allocs)
+	}
+}
+
 // TestPacketFreeListRecycles verifies pool packets return to the free-list
 // after delivery while literal-built packets (whose references a test
 // harness may retain) are never recycled.

@@ -13,16 +13,19 @@ func (m *Mesh) DigestState(d *sim.Digest) {
 	d.Int(m.InFlight)
 	d.I64(m.DeliveredPackets)
 	d.I64(m.TotalHops)
-	for _, r := range m.Routers {
-		d.Int(r.queued)
-		d.U64(r.routeSeq)
-		d.U64(r.idSeq)
+	nSlots := m.numIn * m.VCCount
+	for node := range m.Routers {
+		d.Int(int(m.queued[node]))
+		d.U64(m.routeSeq[node])
+		d.U64(m.idSeq[node])
 		for out := 0; out < m.numOut; out++ {
-			d.I64(r.busyTill[out])
+			d.I64(m.busyTill[node*m.numOut+out])
 		}
-		for port := 0; port < m.numIn; port++ {
-			for vc := range r.in[port] {
-				q := &r.in[port][vc]
+		// The flat slice's element order is port-major, VC-minor — the
+		// exact nesting the digest has always folded in.
+		for slot := 0; slot < nSlots; slot++ {
+			{
+				q := &m.fifos[node*nSlots+slot]
 				d.Int(q.n)
 				for i := 0; i < q.n; i++ {
 					e := &q.buf[(q.head+i)%len(q.buf)]

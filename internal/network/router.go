@@ -16,34 +16,30 @@ import (
 // this reproduces the historical fixed layout N,S,E,W,Local,Gen exactly,
 // so scan order, arbitration order, fault-site numbering and digests are
 // unchanged there.
+//
+// Router state lives in structure-of-arrays form on the Mesh — flat slices
+// indexed by router id (and port/VC within a router) rather than fields on
+// per-Router heap objects. Shards are contiguous router-id bands, so a
+// shard worker streaming through its routers walks contiguous memory:
+// FIFO headers, busy counters and arbitration stamps for neighboring
+// routers of the same band share cache lines instead of being scattered
+// across individually allocated objects. The Router type remains as a thin
+// per-node handle carrying only identity and per-node configuration.
 
 type fifoEntry struct {
 	pkt     *Packet
 	readyAt int64 // cycle the head flit clears this router's pipeline
 }
 
-// Router is one fabric router. It owns per-input-port, per-VC FIFOs, a
-// k-cycle pipeline, and age-based arbitration per output port.
+// Router is one fabric router's handle: identity plus per-node
+// configuration. The mutable hot state (FIFOs, credit counters,
+// arbitration stamps, free-lists) lives in the Mesh's flat arrays, indexed
+// by NodeID.
 type Router struct {
 	// NodeID is the router's position, equal to the attached node's id.
 	NodeID int
 	mesh   *Mesh
-	tid    sim.TickerID
 	shard  int // owning shard; routers only touch their own shard's state mid-tick
-
-	in       [][]fifoQueue // indexed [port slot][vc]
-	busyTill []int64       // indexed [output slot]
-	queued   int           // packets across all FIFOs, for park/wake
-
-	// routeSeq stamps routing decisions for age-based arbitration and idSeq
-	// allocates packet ids; both are per-router (not mesh-global) so sharded
-	// ticking needs no shared counters. Arbitration only ever compares
-	// routeSeq stamps issued by the same router, so per-router stamping
-	// grants identically to a global counter. freePkts is this router's
-	// packet free-list; packets are recycled at the router where they die.
-	routeSeq uint64
-	idSeq    uint64
-	freePkts []*Packet
 
 	// ExtraHopDelay is added to every packet's per-hop pipeline time at
 	// this router. The Figure 10 experiment uses it to model an
@@ -105,6 +101,26 @@ type Mesh struct {
 	// deg is Topo.Degree(); numIn/numOut the derived port-slot counts
 	// (deg inter-router + local + gen in, deg inter-router + local out).
 	deg, numIn, numOut int
+
+	// Structure-of-arrays router state. fifos holds every router's input
+	// FIFOs flattened as [(node*numIn + port)*VCCount + vc] — a router's
+	// slots are contiguous, port-major then VC, matching the historical
+	// per-router scan order. busyTill is the per-output-link credit state
+	// at [node*numOut + out]; queued counts packets across a router's
+	// FIFOs (its park/wake signal); routeSeq stamps routing decisions for
+	// age-based arbitration and idSeq allocates packet ids — both
+	// per-router so sharded ticking needs no shared counters (arbitration
+	// only ever compares stamps issued by the same router, so per-router
+	// stamping grants identically to a global counter). freePkts is the
+	// per-router packet free-list — packets recycle at the router where
+	// they die — and tids the kernel ticker ids for wakes.
+	fifos    []fifoQueue
+	busyTill []int64
+	queued   []int32
+	routeSeq []uint64
+	idSeq    []uint64
+	freePkts [][]*Packet
+	tids     []sim.TickerID
 
 	// shards is the spatial decomposition: router i belongs to shard
 	// i*shards/Nodes(), a contiguous band of router ids. sh holds each
@@ -203,10 +219,10 @@ func (c *Config) Validate() error {
 // Build constructs the fabric described by cfg, registers every router
 // with the kernel, and wires the policy in. Routers park themselves
 // whenever their FIFOs drain and are woken by injection, protocol spawning
-// and neighbor hand-off, so an idle router costs the kernel nothing but a
-// flag check per cycle. Panics on an invalid Config — construction errors
-// are programming errors, exactly as the old positional constructor
-// treated them.
+// and neighbor hand-off, so an idle router costs the kernel nothing beyond
+// a cleared bit in its shard's active bitmap. Panics on an invalid Config —
+// construction errors are programming errors, exactly as the old
+// positional constructor treated them.
 func Build(k *sim.Kernel, cfg Config) *Mesh {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -228,16 +244,18 @@ func Build(k *sim.Kernel, cfg Config) *Mesh {
 		m.shards = nodes
 	}
 	m.sh = make([]meshShard, m.shards)
+	m.fifos = make([]fifoQueue, nodes*m.numIn*cfg.VCs)
+	m.busyTill = make([]int64, nodes*m.numOut)
+	m.queued = make([]int32, nodes)
+	m.routeSeq = make([]uint64, nodes)
+	m.idSeq = make([]uint64, nodes)
+	m.freePkts = make([][]*Packet, nodes)
+	m.tids = make([]sim.TickerID, nodes)
 	for i := 0; i < nodes; i++ {
 		r := &Router{NodeID: i, mesh: m, shard: i * m.shards / nodes}
-		r.in = make([][]fifoQueue, m.numIn)
-		for p := 0; p < m.numIn; p++ {
-			r.in[p] = make([]fifoQueue, cfg.VCs)
-		}
-		r.busyTill = make([]int64, m.numOut)
 		m.Routers = append(m.Routers, r)
-		r.tid = k.Register(r)
-		k.AssignShard(r.tid, r.shard)
+		m.tids[i] = k.Register(r)
+		k.AssignShard(m.tids[i], r.shard)
 	}
 	k.OnBarrier(m.flush)
 	return m
@@ -266,6 +284,11 @@ func (m *Mesh) outSlotOf(d Dir) int {
 		return int(d)
 	}
 	return -1
+}
+
+// fifoAt returns the FIFO of (node, port slot, vc) in the flat array.
+func (m *Mesh) fifoAt(node, port, vc int) *fifoQueue {
+	return &m.fifos[(node*m.numIn+port)*m.VCCount+vc]
 }
 
 // ShardOf returns the shard owning node's router (and with it all
@@ -299,7 +322,7 @@ type meshShard struct {
 // Applying it at the barrier instead of mid-tick is safe because the entry
 // only becomes routable at readyAt, at least two cycles out.
 type xferRec struct {
-	to   *Router
+	to   int // receiving router id
 	port int // input port slot at the receiver
 	vc   int
 	e    fifoEntry
@@ -308,7 +331,7 @@ type xferRec struct {
 // dropRec defers a fault-layer removal's DropFn callback (and the recycle
 // that must follow it) to the barrier.
 type dropRec struct {
-	r      *Router
+	node   int // router the packet died at
 	p      *Packet
 	reason fault.DropReason
 }
@@ -316,8 +339,8 @@ type dropRec struct {
 // deliverRec defers an in-network consumption's DeliverFn callback (and
 // recycle) to the barrier. Only staged when DeliverFn is armed.
 type deliverRec struct {
-	r *Router
-	p *Packet
+	node int
+	p    *Packet
 }
 
 // flush is the mesh's kernel barrier hook: apply every shard's staged
@@ -328,21 +351,21 @@ func (m *Mesh) flush() {
 		sh := &m.sh[s]
 		for i := range sh.xfers {
 			x := &sh.xfers[i]
-			x.to.enqueue(x.port, x.vc, x.e)
+			m.enqueueAt(x.to, x.port, x.vc, x.e)
 			sh.xfers[i] = xferRec{}
 		}
 		sh.xfers = sh.xfers[:0]
 		for i := range sh.drops {
 			d := sh.drops[i]
 			m.DropFn(d.p, d.reason, now)
-			m.recycleAt(d.r, d.p)
+			m.recycleAt(d.node, d.p)
 			sh.drops[i] = dropRec{}
 		}
 		sh.drops = sh.drops[:0]
 		for i := range sh.delivers {
 			d := sh.delivers[i]
 			m.DeliverFn(d.p, true, now)
-			m.recycleAt(d.r, d.p)
+			m.recycleAt(d.node, d.p)
 			sh.delivers[i] = deliverRec{}
 		}
 		sh.delivers = sh.delivers[:0]
@@ -366,9 +389,8 @@ func (m *Mesh) OutPorts() int { return m.numOut }
 // collide; nothing in routing or arbitration compares ids, so the numbering
 // scheme is unobservable beyond uniqueness.
 func (m *Mesh) NextIDFor(node int) uint64 {
-	r := m.Routers[node]
-	r.idSeq++
-	return uint64(node)<<40 | r.idSeq
+	m.idSeq[node]++
+	return uint64(node)<<40 | m.idSeq[node]
 }
 
 // AllocPacketFor returns a zeroed packet from node's router-local free-list
@@ -379,10 +401,10 @@ func (m *Mesh) NextIDFor(node int) uint64 {
 // through this; during a sharded tick they may only allocate at the node
 // being ticked, which is the only caller the engines have.
 func (m *Mesh) AllocPacketFor(node int) *Packet {
-	r := m.Routers[node]
-	if n := len(r.freePkts); n > 0 {
-		p := r.freePkts[n-1]
-		r.freePkts = r.freePkts[:n-1]
+	free := m.freePkts[node]
+	if n := len(free); n > 0 {
+		p := free[n-1]
+		m.freePkts[node] = free[:n-1]
 		*p = Packet{pooled: true}
 		return p
 	}
@@ -391,32 +413,31 @@ func (m *Mesh) AllocPacketFor(node int) *Packet {
 
 // recycleAt returns a dead pool packet to the free-list of the router it
 // died at. Literal-built packets pass through untouched.
-func (m *Mesh) recycleAt(r *Router, p *Packet) {
+func (m *Mesh) recycleAt(node int, p *Packet) {
 	if p.pooled {
 		p.Payload = nil
 		p.DstSet = nil
-		r.freePkts = append(r.freePkts, p)
+		m.freePkts[node] = append(m.freePkts[node], p)
 	}
 }
 
-// enqueue appends e to the router's [port][vc] FIFO and wakes the router:
-// it now has work and must tick until it drains again.
-func (r *Router) enqueue(port, vc int, e fifoEntry) {
-	r.in[port][vc].push(e)
-	r.queued++
-	r.mesh.kernel.Wake(r.tid)
+// enqueueAt appends e to node's [port][vc] FIFO and wakes the router: it
+// now has work and must tick until it drains again.
+func (m *Mesh) enqueueAt(node, port, vc int, e fifoEntry) {
+	m.fifoAt(node, port, vc).push(e)
+	m.queued[node]++
+	m.kernel.Wake(m.tids[node])
 }
 
 // Quiescent implements sim.Parker: a router with empty FIFOs has nothing to
 // route or arbitrate (busyTill holds an absolute cycle, so an in-flight
 // serialization tail needs no ticking to expire), and every path that hands
 // the router a packet wakes it.
-func (r *Router) Quiescent() bool { return r.queued == 0 }
+func (r *Router) Quiescent() bool { return r.mesh.queued[r.NodeID] == 0 }
 
 // Inject places a packet into node's router through the local injection
 // port. The packet becomes routable after the router pipeline.
 func (m *Mesh) Inject(node int, p *Packet, now int64) {
-	r := m.Routers[node]
 	p.ArrivalDir = Local
 	p.InjectedAt = now
 	p.routed = false
@@ -426,7 +447,8 @@ func (m *Mesh) Inject(node int, p *Packet, now int64) {
 		p.Checksum = ChecksumOf(p)
 	}
 	m.InFlight++
-	r.enqueue(m.localSlot(), int(p.Class)%m.VCCount, fifoEntry{pkt: p, readyAt: now + m.Pipeline + r.ExtraHopDelay})
+	m.enqueueAt(node, m.localSlot(), int(p.Class)%m.VCCount,
+		fifoEntry{pkt: p, readyAt: now + m.Pipeline + m.Routers[node].ExtraHopDelay})
 }
 
 // spawn places a protocol-generated packet into node's generation port.
@@ -457,7 +479,7 @@ func (m *Mesh) spawn(node int, p *Packet, now int64) {
 	if p.Expedited {
 		delay = 0
 	}
-	r.enqueue(m.genSlot(), int(p.Class)%m.VCCount, fifoEntry{pkt: p, readyAt: now + delay})
+	m.enqueueAt(node, m.genSlot(), int(p.Class)%m.VCCount, fifoEntry{pkt: p, readyAt: now + delay})
 }
 
 // Spawn is the exported form of spawn for protocol engines that generate
@@ -466,76 +488,80 @@ func (m *Mesh) Spawn(node int, p *Packet, now int64) { m.spawn(node, p, now) }
 
 // Tick advances one router by one cycle: consult the policy for newly ready
 // packets, then arbitrate each output port. Tick only mutates the router's
-// own state and its shard's staging records — never another router or a
-// mesh-global field — which is what lets shards tick concurrently.
+// own band of the mesh arrays and its shard's staging records — never
+// another router's band or a mesh-global field — which is what lets shards
+// tick concurrently. The fifos/busy locals below are the router's
+// contiguous array bands; every FIFO scan in both phases walks them
+// linearly (port-major, VC-minor — the flat layout's element order).
 func (r *Router) Tick(now int64) {
 	m := r.mesh
+	node := r.NodeID
 	sh := &m.sh[r.shard]
 	nm := m.Metrics
+	nSlots := m.numIn * m.VCCount
+	fifos := m.fifos[node*nSlots : (node+1)*nSlots]
+	busy := m.busyTill[node*m.numOut : (node+1)*m.numOut]
 	if nm != nil {
 		// Integrate input-FIFO occupancy (packet-cycles) per port/VC.
-		for port := 0; port < m.numIn; port++ {
-			for vc := 0; vc < m.VCCount; vc++ {
-				nm.QueueSum[nm.InIdx(r.NodeID, port, vc)] += int64(r.in[port][vc].n)
-			}
+		base := nm.InIdx(node, 0, 0)
+		for slot := 0; slot < nSlots; slot++ {
+			nm.QueueSum[base+slot] += int64(fifos[slot].n)
 		}
 	}
 	// Phase 1: routing decisions for FIFO heads that cleared the pipeline.
-	for port := 0; port < m.numIn; port++ {
-		for vc := 0; vc < m.VCCount; vc++ {
-			h := r.in[port][vc].head0()
-			if h == nil || h.readyAt > now || h.pkt.routed {
-				continue
+	for slot := 0; slot < nSlots; slot++ {
+		h := fifos[slot].head0()
+		if h == nil || h.readyAt > now || h.pkt.routed {
+			continue
+		}
+		p := h.pkt
+		if inj := m.Faults; inj != nil && p.Checksum != ChecksumOf(p) {
+			// Corruption detected: discard before the policy (and
+			// its tree-cache side effects) ever sees the packet.
+			atomic.AddInt64(&inj.ChecksumDrops, 1)
+			fifos[slot].pop()
+			m.queued[node]--
+			sh.inFlight--
+			if m.DropFn != nil {
+				sh.drops = append(sh.drops, dropRec{node: node, p: p, reason: fault.DropChecksum})
+			} else {
+				m.recycleAt(node, p)
 			}
-			p := h.pkt
-			if inj := m.Faults; inj != nil && p.Checksum != ChecksumOf(p) {
-				// Corruption detected: discard before the policy (and
-				// its tree-cache side effects) ever sees the packet.
-				atomic.AddInt64(&inj.ChecksumDrops, 1)
-				r.in[port][vc].pop()
-				r.queued--
-				sh.inFlight--
-				if m.DropFn != nil {
-					sh.drops = append(sh.drops, dropRec{r: r, p: p, reason: fault.DropChecksum})
-				} else {
-					m.recycleAt(r, p)
-				}
-				continue
+			continue
+		}
+		st := m.Policy.Route(r, p, now)
+		for _, sp := range st.Spawn {
+			m.spawn(node, sp, now)
+		}
+		switch {
+		case st.Consume:
+			fifos[slot].pop()
+			m.queued[node]--
+			sh.inFlight--
+			sh.delivered++
+			sh.hops += int64(p.Hops)
+			if m.DeliverFn != nil {
+				sh.delivers = append(sh.delivers, deliverRec{node: node, p: p})
+			} else {
+				m.recycleAt(node, p)
 			}
-			st := m.Policy.Route(r, p, now)
-			for _, sp := range st.Spawn {
-				m.spawn(r.NodeID, sp, now)
+		case st.Stall:
+			if p.stallStart == 0 {
+				p.stallStart = now
 			}
-			switch {
-			case st.Consume:
-				r.in[port][vc].pop()
-				r.queued--
-				sh.inFlight--
-				sh.delivered++
-				sh.hops += int64(p.Hops)
-				if m.DeliverFn != nil {
-					sh.delivers = append(sh.delivers, deliverRec{r: r, p: p})
-				} else {
-					m.recycleAt(r, p)
-				}
-			case st.Stall:
-				if p.stallStart == 0 {
-					p.stallStart = now
-				}
-				if nm != nil {
-					nm.PolicyStalls[r.NodeID]++
-				}
-			default:
-				slot := m.outSlotOf(st.Out)
-				if slot < 0 {
-					panic(fmt.Sprintf("network: policy steered packet %d to invalid port %v on %s", p.ID, st.Out, m.Topo.Spec()))
-				}
-				p.routed = true
-				p.outSlot = slot
-				p.stallStart = 0
-				r.routeSeq++
-				p.routeSeq = r.routeSeq
+			if nm != nil {
+				nm.PolicyStalls[node]++
 			}
+		default:
+			outSlot := m.outSlotOf(st.Out)
+			if outSlot < 0 {
+				panic(fmt.Sprintf("network: policy steered packet %d to invalid port %v on %s", p.ID, st.Out, m.Topo.Spec()))
+			}
+			p.routed = true
+			p.outSlot = outSlot
+			p.stallStart = 0
+			m.routeSeq[node]++
+			p.routeSeq = m.routeSeq[node]
 		}
 	}
 	// Phase 2: output arbitration, one grant per output port per cycle.
@@ -544,24 +570,23 @@ func (r *Router) Tick(now int64) {
 	// teardown chasing the reply that just built a virtual link) can
 	// then never overtake that packet onto the link, which the
 	// in-network protocol's correctness argument requires.
-	nSlots := m.numIn * m.VCCount
 	local := m.localSlot()
 	for out := 0; out < m.numOut; out++ {
 		if inj := m.Faults; inj != nil && out != local &&
-			inj.StallAt(now, r.NodeID, out) {
+			inj.StallAt(now, node, out) {
 			// The link is frozen by a stall fault this cycle: no grant,
 			// exactly as if it were still serializing.
 			continue
 		}
-		if r.busyTill[out] > now {
+		if busy[out] > now {
 			if nm != nil {
 				// The link is still serializing a previous packet's
 				// flits: charge routed heads waiting for it.
 				for slot := 0; slot < nSlots; slot++ {
-					h := r.in[slot/m.VCCount][slot%m.VCCount].head0()
+					h := fifos[slot].head0()
 					if h != nil && h.pkt.routed && h.pkt.outSlot == out {
 						h.pkt.serialWait++
-						nm.SerialWait[nm.OutIdx(r.NodeID, out)]++
+						nm.SerialWait[nm.OutIdx(node, out)]++
 					}
 				}
 			}
@@ -570,8 +595,7 @@ func (r *Router) Tick(now int64) {
 		granted := -1
 		var bestSeq uint64
 		for slot := 0; slot < nSlots; slot++ {
-			port, vc := slot/m.VCCount, slot%m.VCCount
-			h := r.in[port][vc].head0()
+			h := fifos[slot].head0()
 			if h == nil || !h.pkt.routed || h.pkt.outSlot != out {
 				continue
 			}
@@ -583,14 +607,13 @@ func (r *Router) Tick(now int64) {
 		if granted < 0 {
 			continue
 		}
-		port, vc := granted/m.VCCount, granted%m.VCCount
-		e := r.in[port][vc].pop()
-		r.queued--
+		e := fifos[granted].pop()
+		m.queued[node]--
 		p := e.pkt
 		p.routed = false
 		if inj := m.Faults; inj != nil && out != local &&
 			(inj.Plan.Spec.Scope == fault.ScopeAll || p.Retryable) &&
-			inj.DropAt(now, r.NodeID, out) {
+			inj.DropAt(now, node, out) {
 			// The packet is lost on the link: it leaves the network
 			// without being delivered (no hop/delivery accounting, no
 			// link occupancy) and the protocol is notified so it can
@@ -598,15 +621,15 @@ func (r *Router) Tick(now int64) {
 			// free the cycle for the next-oldest packet.
 			sh.inFlight--
 			if m.DropFn != nil {
-				sh.drops = append(sh.drops, dropRec{r: r, p: p, reason: fault.DropInjected})
+				sh.drops = append(sh.drops, dropRec{node: node, p: p, reason: fault.DropInjected})
 			} else {
-				m.recycleAt(r, p)
+				m.recycleAt(node, p)
 			}
 			continue
 		}
-		r.busyTill[out] = now + int64(p.Flits)
+		busy[out] = now + int64(p.Flits)
 		if nm != nil {
-			oi := nm.OutIdx(r.NodeID, out)
+			oi := nm.OutIdx(node, out)
 			nm.Grants[oi]++
 			nm.LinkBusy[oi] += int64(p.Flits)
 		}
@@ -622,17 +645,16 @@ func (r *Router) Tick(now int64) {
 				if m.DeliverFn != nil {
 					m.DeliverFn(p, false, m.kernelNow())
 				}
-				m.EjectFn(r.NodeID, p, m.kernelNow())
-				m.recycleAt(r, p)
+				m.EjectFn(node, p, m.kernelNow())
+				m.recycleAt(node, p)
 			})
 			continue
 		}
-		nb, ok := m.Topo.Neighbor(r.NodeID, Dir(out))
+		nb, ok := m.Topo.Neighbor(node, Dir(out))
 		if !ok {
-			panic(fmt.Sprintf("network: packet %d routed off-fabric %v from node %d on %s", p.ID, Dir(out), r.NodeID, m.Topo.Spec()))
+			panic(fmt.Sprintf("network: packet %d routed off-fabric %v from node %d on %s", p.ID, Dir(out), node, m.Topo.Spec()))
 		}
-		next := m.Routers[nb]
-		if inj := m.Faults; inj != nil && inj.CorruptAt(now, r.NodeID, out) {
+		if inj := m.Faults; inj != nil && inj.CorruptAt(now, node, out) {
 			// Flip the integrity word on the wire; the neighbor's
 			// verification discards the packet before routing it.
 			p.Checksum = ^p.Checksum
@@ -645,10 +667,10 @@ func (r *Router) Tick(now int64) {
 		// shard count. Timing is unchanged: the entry only becomes
 		// routable at readyAt, which is at least two cycles out.
 		sh.xfers = append(sh.xfers, xferRec{
-			to:   next,
+			to:   nb,
 			port: int(p.ArrivalDir),
-			vc:   vc,
-			e:    fifoEntry{pkt: p, readyAt: now + 1 + m.Pipeline + next.ExtraHopDelay},
+			vc:   granted % m.VCCount,
+			e:    fifoEntry{pkt: p, readyAt: now + 1 + m.Pipeline + m.Routers[nb].ExtraHopDelay},
 		})
 	}
 }
@@ -657,4 +679,4 @@ func (m *Mesh) kernelNow() int64 { return m.kernel.Now() }
 
 // QueuedPackets returns the number of packets waiting in this router's
 // FIFOs, for drain checks and tests.
-func (r *Router) QueuedPackets() int { return r.queued }
+func (r *Router) QueuedPackets() int { return int(r.mesh.queued[r.NodeID]) }

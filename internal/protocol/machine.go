@@ -179,11 +179,22 @@ func newMachine(spec Spec) (*Machine, error) {
 	if spec.AlwaysTick {
 		k.SetAlwaysTick(true)
 	}
-	if s := spec.Shards; s > 1 {
+	s, auto := spec.Shards, spec.Shards == 0
+	if auto {
+		// Auto mode: shard count from GOMAXPROCS and mesh size, actual
+		// parallelism width from live occupancy (the kernel's tuner).
+		// Both are pure scheduling choices — output is byte-identical to
+		// any explicit shard count.
+		s = sim.AutoShards(cfg.Nodes())
+	}
+	if s > 1 {
 		if s > cfg.Nodes() {
 			s = cfg.Nodes()
 		}
 		k.SetShards(s)
+		if auto {
+			k.SetAutoTune(true)
+		}
 	}
 	m := &Machine{
 		Cfg:        cfg,

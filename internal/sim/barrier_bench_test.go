@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+)
+
+// The barrier microbenchmarks isolate the per-cycle synchronization cost
+// the sharded engine pays: BenchmarkBarrierChannel reproduces the engine's
+// historical channel protocol (one workCh send plus one doneCh receive per
+// shard per cycle, against a goroutine per shard), and BenchmarkBarrierSense
+// measures the sense-reversing replacement through the real kernel — a Step
+// over always-busy shards whose tickers do no work, so dispatch + barrier
+// dominate. check.sh records both in BENCH_parallel.json (barrier_*_ns_per_op)
+// so a synchronization regression is attributable separately from routing
+// or protocol cost.
+
+const benchBarrierShards = 4
+
+// BenchmarkBarrierChannel is the old protocol in isolation: the
+// coordinator releases each worker over its own unbuffered channel and
+// collects each completion over another, every cycle.
+func BenchmarkBarrierChannel(b *testing.B) {
+	workCh := make([]chan int64, benchBarrierShards)
+	doneCh := make([]chan struct{}, benchBarrierShards)
+	for s := range workCh {
+		workCh[s] = make(chan int64)
+		doneCh[s] = make(chan struct{})
+		go func(s int) {
+			for range workCh[s] {
+				doneCh[s] <- struct{}{}
+			}
+		}(s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < benchBarrierShards; s++ {
+			workCh[s] <- int64(i)
+		}
+		for s := 0; s < benchBarrierShards; s++ {
+			<-doneCh[s]
+		}
+	}
+	b.StopTimer()
+	for s := range workCh {
+		close(workCh[s])
+	}
+}
+
+// BenchmarkBarrierSense is one kernel Step per iteration over
+// benchBarrierShards always-busy shards of no-op tickers: the measured cost
+// is the sense-reversing dispatch, the bitmap walks, and the completion
+// barrier.
+func BenchmarkBarrierSense(b *testing.B) {
+	k := NewKernel(1)
+	k.SetShards(benchBarrierShards)
+	for i := 0; i < benchBarrierShards; i++ {
+		k.AssignShard(k.Register(tickFunc(func(int64) {})), i)
+	}
+	defer k.ReleaseWorkers()
+	k.Step() // start the workers outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}

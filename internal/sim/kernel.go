@@ -43,8 +43,9 @@
 // # Sharded parallel ticking
 //
 // Tickers assigned to spatial shards (SetShards + AssignShard) form a second
-// tick segment that can execute on worker goroutines, one per shard, within
-// a cycle. Unassigned tickers stay in the serial coordinator segment and
+// tick segment that can execute on worker goroutines within a cycle,
+// synchronized by a sense-reversing barrier on atomic counters (see
+// shard.go). Unassigned tickers stay in the serial coordinator segment and
 // tick first, in registration order. Sharded tickers must not touch state
 // owned by another shard during their Tick; cross-shard effects are instead
 // deferred — either through Defer, whose queues the kernel drains at the
@@ -53,8 +54,12 @@
 // contiguous ticker ranges and each shard processes its tickers in
 // ascending order, the barrier drain order equals the serial registration
 // order for every shard count — which is what makes parallel output
-// byte-identical to shards=1. See DESIGN.md's shard/barrier section for the
-// full determinism argument.
+// byte-identical to shards=1. Within a busy cycle each shard walks a dense
+// active bitmap over its ID band, so idle routers inside a busy cycle cost
+// nothing — the intra-cycle generalization of the park/fast-forward idea
+// above. SetShards(0 is not a value here; protocol specs use Shards: 0 to
+// request AutoShards) and SetAutoTune cover shard-count selection. See
+// DESIGN.md's shard/barrier section for the full determinism argument.
 package sim
 
 // Ticker is implemented by components that need to perform work every cycle,
@@ -167,18 +172,35 @@ type Kernel struct {
 	// Sharded tick segment (see shard.go). coordActive counts active
 	// coordinator slots; shardActive[s] counts active slots of shard s and
 	// is only touched by the coordinator or by shard s's own worker, so no
-	// counter is ever written concurrently.
+	// counter is ever written concurrently. The same ownership rule covers
+	// shardBits[s], shard s's active bitmap: bit (id - shardLo[s]) is set
+	// exactly when sharded slot id is active, so a busy cycle walks set
+	// bits instead of scanning every slot. coordSlots caches the
+	// coordinator-segment IDs (rebuilt when coordDirty) so Step's serial
+	// segment doesn't re-scan slotShard every cycle.
 	shards      int
 	nSharded    int
 	coordActive int
+	coordSlots  []TickerID
+	coordDirty  bool
 	shardActive []int
 	shardSlots  [][]TickerID
+	shardBits   [][]uint64
+	shardLo     []int
 	inTick      bool
 	deferred    [][]deferredCall
 	barrierFns  []func()
-	workCh      []chan int64
-	doneCh      []chan struct{}
-	workBuf     []int
+	workBuf     []int32
+	wb          *workBench
+
+	// Width auto-tuning (SetAutoTune) and performance accounting
+	// (ShardStats); stats' per-shard slice lives in occSum.
+	autoTune   bool
+	parWidth   int
+	tuneBusy   int64
+	tuneActive int64
+	stats      ShardStats
+	occSum     []int64
 
 	// Hang watchdog (SetWatchdog). fired counts events ever fired — the
 	// kernel's own progress signal — and watchFn adds the caller's
@@ -219,6 +241,7 @@ func (k *Kernel) Register(t Ticker) TickerID {
 	k.slots = append(k.slots, s)
 	k.slotShard = append(k.slotShard, -1)
 	k.coordActive++
+	k.coordDirty = true
 	return TickerID(len(k.slots) - 1)
 }
 
@@ -235,6 +258,8 @@ func (k *Kernel) Wake(id TickerID) {
 		s.active = true
 		if sh := k.slotShard[id]; sh >= 0 {
 			k.shardActive[sh]++
+			off := int(id) - k.shardLo[sh]
+			k.shardBits[sh][off>>6] |= 1 << (uint(off) & 63)
 		} else {
 			k.coordActive++
 		}
@@ -306,11 +331,17 @@ func (k *Kernel) Step() {
 			k.Wake(e.wake)
 		}
 	}
-	for i := range k.slots {
-		if k.slotShard[i] >= 0 {
-			continue
+	if k.coordDirty {
+		k.coordSlots = k.coordSlots[:0]
+		for i := range k.slots {
+			if k.slotShard[i] < 0 {
+				k.coordSlots = append(k.coordSlots, TickerID(i))
+			}
 		}
-		s := &k.slots[i]
+		k.coordDirty = false
+	}
+	for _, id := range k.coordSlots {
+		s := &k.slots[id]
 		if !s.active {
 			continue
 		}

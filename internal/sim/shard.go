@@ -15,6 +15,57 @@ package sim
 // order reproduces the single global ascending-ID order regardless of the
 // shard count (including 1). Serial mode is not a separate code path; it is
 // shards=1 of the same machinery.
+//
+// # Barrier mechanics
+//
+// Dispatching a cycle to the workers used to cost two channel hops per
+// shard (send on workCh, receive on doneCh) — around a microsecond per
+// shard per cycle, which on fine-grained cycles dwarfed the tick work
+// itself. The current barrier is sense-reversing on atomic counters: the
+// coordinator publishes the cycle's busy-shard work list and releases each
+// participating worker by bumping its private (cache-line-padded) release
+// counter; workers pull shard indexes from a shared atomic cursor, tick
+// them, and decrement a joint outstanding count the coordinator spins on.
+// Both sides spin briefly, then yield, then park on a sync.Cond (the
+// futex-style fallback), so an uncontended barrier costs tens of
+// nanoseconds of atomic traffic while an oversubscribed host degrades to
+// scheduler blocking instead of burning cycles. Which worker ticks which
+// shard is intentionally unspecified — shard state is exclusively owned for
+// the duration of the segment and the barrier drain order is fixed by shard
+// numbering, so work stealing cannot perturb output.
+//
+// # Intra-cycle idle-router skipping
+//
+// Within a busy cycle most sharded tickers are idle (a mesh carrying a few
+// packets has a few busy routers). Each shard therefore keeps a dense
+// active bitmap over its contiguous ID band, maintained edge-triggered at
+// wake and park — Wake sets the ticker's bit, a quiescent park clears it —
+// so ticking a shard walks only the set bits (ascending, preserving the
+// serial order) instead of scanning every slot's active flag. The bitmap
+// words are re-read as the walk advances, so a ticker woken mid-segment by
+// an earlier same-shard ticker still ticks in the same cycle, exactly as
+// the flag scan behaved.
+//
+// # Auto-tuned parallelism width
+//
+// With SetAutoTune (protocol.Spec.Shards == 0), the kernel re-decides every
+// tuneWindow busy cycles how many shard workers to actually release, from
+// the measured active-ticker occupancy: width grows only while the load
+// offers at least tunePerWorker active tickers per worker and shrinks when
+// it no longer does, with a dead band between the two thresholds so the
+// width doesn't oscillate. The rule is a pure function of the simulation's
+// own (deterministic) occupancy sequence, and width only chooses which
+// goroutine ticks a shard — never what is ticked or in what barrier order —
+// so output stays byte-identical at every width, including across hosts
+// with different GOMAXPROCS.
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // deferredCall is one entry of a shard's barrier queue: run fn at the
 // barrier (delay <= 0) or push it onto the event heap with the given delay
@@ -24,13 +75,83 @@ type deferredCall struct {
 	fn    func()
 }
 
+// Auto-tune and barrier constants.
+const (
+	// minTickersPerShard is AutoShards' floor: a shard below this many
+	// tickers cannot amortize even the cheap barrier.
+	minTickersPerShard = 32
+	// tuneWindow is how many busy cycles the width tuner averages over.
+	tuneWindow = 1024
+	// tunePerWorker is the active-ticker load that justifies one worker.
+	// The dead band between (width+1)*tunePerWorker (grow) and
+	// (width-1)*tunePerWorker (shrink) is the hysteresis.
+	tunePerWorker = 32
+	// barrierSpin / barrierYield bound the spin-then-park ladder: pure
+	// atomic re-reads, then runtime.Gosched rounds, then a sync.Cond park.
+	barrierSpin  = 128
+	barrierYield = 32
+)
+
+// AutoShards picks a shard count for a simulation with n sharded tickers:
+// one shard per minTickersPerShard tickers, capped at GOMAXPROCS, never
+// below 1. It is the resolution rule behind protocol.Spec.Shards == 0.
+func AutoShards(n int) int {
+	s := runtime.GOMAXPROCS(0)
+	if per := n / minTickersPerShard; s > per {
+		s = per
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ShardStats is the sharded tick engine's performance accounting, exposed
+// so benchmarks can attribute regressions (BENCH_parallel.json records the
+// occupancy and barrier-wait columns). All quantities are observational.
+type ShardStats struct {
+	// BusyCycles counts cycles in which at least one shard had an active
+	// ticker; ActiveSum accumulates the active sharded-ticker count over
+	// those cycles (ActiveSum/BusyCycles is mean occupancy).
+	BusyCycles int64
+	ActiveSum  int64
+	// ParallelCycles counts cycles actually dispatched to worker
+	// goroutines (two or more busy shards and width > 1).
+	ParallelCycles int64
+	// BarrierWaitNs is coordinator nanoseconds spent waiting at the cycle
+	// barrier for workers to finish, measured only on dispatched cycles.
+	BarrierWaitNs int64
+	// PerShardActiveSum is ActiveSum split by shard: shard s's active
+	// tickers summed over busy cycles.
+	PerShardActiveSum []int64
+	// Width is the current parallelism width (== shard count unless
+	// auto-tuning is on).
+	Width int
+}
+
+// ShardStats returns a snapshot of the engine's accounting. The per-shard
+// slice is copied; callers may retain it.
+func (k *Kernel) ShardStats() ShardStats {
+	s := k.stats
+	s.PerShardActiveSum = append([]int64(nil), k.occSum...)
+	s.Width = k.parWidth
+	return s
+}
+
 // initShards (re)initializes the shard tables for n shards.
 func (k *Kernel) initShards(n int) {
 	k.shards = n
+	k.parWidth = n
 	k.shardActive = make([]int, n)
 	k.shardSlots = make([][]TickerID, n)
+	k.shardBits = make([][]uint64, n)
+	k.shardLo = make([]int, n)
+	for s := range k.shardLo {
+		k.shardLo[s] = -1
+	}
 	k.deferred = make([][]deferredCall, n)
-	k.workBuf = make([]int, 0, n)
+	k.occSum = make([]int64, n)
+	k.workBuf = make([]int32, 0, n)
 }
 
 // SetShards declares the shard count for the sharded tick segment (clamped
@@ -51,11 +172,27 @@ func (k *Kernel) SetShards(n int) {
 // Shards returns the configured shard count.
 func (k *Kernel) Shards() int { return k.shards }
 
+// SetAutoTune enables (or disables) occupancy-driven width tuning. With it
+// on, the kernel starts at width 1 — every busy shard ticks inline on the
+// coordinator — and widens only once the measured active-ticker load
+// justifies workers; see the package comment's auto-tune section. Output is
+// byte-identical at every width, so this is a pure scheduling knob.
+func (k *Kernel) SetAutoTune(on bool) {
+	k.autoTune = on
+	if on {
+		k.parWidth = 1
+	} else {
+		k.parWidth = k.shards
+	}
+	k.tuneBusy, k.tuneActive = 0, 0
+}
+
 // AssignShard moves a registered ticker from the coordinator segment into
 // shard s. Tickers must be assigned at most once, in ascending TickerID
 // order per shard, with all of a shard's IDs contiguous and below the next
-// shard's — the layout NewMesh produces — because barrier determinism rests
-// on per-shard queues concatenating into ascending-ID order.
+// shard's — the layout network.Build produces — because barrier determinism
+// rests on per-shard queues concatenating into ascending-ID order, and the
+// shard's active bitmap indexes by offset from its lowest ID.
 func (k *Kernel) AssignShard(id TickerID, s int) {
 	if s < 0 || s >= k.shards {
 		panic("sim: AssignShard out of range")
@@ -63,13 +200,24 @@ func (k *Kernel) AssignShard(id TickerID, s int) {
 	if k.slotShard[id] != -1 {
 		panic("sim: ticker assigned to a shard twice")
 	}
+	if k.shardLo[s] == -1 {
+		k.shardLo[s] = int(id)
+	} else if last := k.shardSlots[s][len(k.shardSlots[s])-1]; id <= last {
+		panic("sim: AssignShard out of ascending order")
+	}
+	off := int(id) - k.shardLo[s]
+	for off>>6 >= len(k.shardBits[s]) {
+		k.shardBits[s] = append(k.shardBits[s], 0)
+	}
 	if k.slots[id].active {
 		k.coordActive--
 		k.shardActive[s]++
+		k.shardBits[s][off>>6] |= 1 << (uint(off) & 63)
 	}
 	k.slotShard[id] = s
 	k.shardSlots[s] = append(k.shardSlots[s], id)
 	k.nSharded++
+	k.coordDirty = true
 }
 
 // InTick reports whether the kernel is inside the sharded tick segment of
@@ -107,90 +255,285 @@ func (k *Kernel) activeTotal() int {
 }
 
 // tickShard ticks every active slot of shard s in ascending ID order,
-// parking quiescent Parkers. It runs on the coordinator or on shard s's
-// worker; all state it touches (the slots, the shard's active count) is
-// owned by that context for the duration of the tick segment.
+// parking quiescent Parkers. It runs on the coordinator or on a worker; all
+// state it touches (the shard's slots, bitmap and active count) is owned by
+// that goroutine for the duration of the tick segment.
+//
+// The walk follows the shard's active bitmap word by word, re-reading each
+// word as bits are consumed: a wake of a later-ID ticker in the same shard
+// during the walk (the self-wake a router performs when spawning into its
+// own queues, or a producer ticker feeding a consumer registered after it)
+// is picked up in this same cycle, exactly as the full flag scan used to.
+// Wakes to already-passed IDs take effect next cycle, also as before.
 func (k *Kernel) tickShard(s int, now int64) {
-	for _, id := range k.shardSlots[s] {
-		sl := &k.slots[id]
-		if !sl.active {
-			continue
+	if k.alwaysTick {
+		for _, id := range k.shardSlots[s] {
+			sl := &k.slots[id]
+			if !sl.active {
+				continue
+			}
+			sl.t.Tick(now)
 		}
-		sl.t.Tick(now)
-		if !k.alwaysTick && sl.parker != nil && sl.parker.Quiescent() {
-			sl.active = false
-			k.shardActive[s]--
+		return
+	}
+	bm := k.shardBits[s]
+	lo := k.shardLo[s]
+	for w := range bm {
+		var done uint64
+		for {
+			word := bm[w] &^ done
+			if word == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(word)
+			// Mark every position up to b consumed, not just b: the scan
+			// point has passed them, so a wake landing on an earlier ID
+			// after this (from a later same-shard ticker) waits for the
+			// next cycle — exactly where the old full scan's index would
+			// have left it.
+			done |= ^uint64(0) >> uint(63-b)
+			id := TickerID(lo + w<<6 + b)
+			sl := &k.slots[id]
+			sl.t.Tick(now)
+			if sl.parker != nil && sl.parker.Quiescent() {
+				sl.active = false
+				bm[w] &^= 1 << uint(b)
+				k.shardActive[s]--
+			}
 		}
 	}
 }
 
 // tickShards runs the sharded segment for one cycle. Shards with no active
-// tickers are skipped entirely; with zero or one busy shard everything runs
-// inline on the coordinator, so idle-heavy phases pay no dispatch cost.
+// tickers are skipped entirely; with zero or one busy shard — or a tuned
+// width of 1 — everything runs inline on the coordinator, so idle-heavy
+// phases pay no dispatch cost at all.
 func (k *Kernel) tickShards() {
 	if k.shards == 1 {
-		k.tickShard(0, k.now)
+		if a := k.shardActive[0]; k.alwaysTick || a > 0 {
+			k.stats.BusyCycles++
+			k.stats.ActiveSum += int64(a)
+			k.occSum[0] += int64(a)
+			k.tickShard(0, k.now)
+		}
 		return
 	}
 	work := k.workBuf[:0]
+	total := 0
 	for s := 0; s < k.shards; s++ {
-		if k.alwaysTick || k.shardActive[s] > 0 {
-			work = append(work, s)
+		a := k.shardActive[s]
+		if k.alwaysTick || a > 0 {
+			work = append(work, int32(s))
+			total += a
+			k.occSum[s] += int64(a)
 		}
 	}
 	k.workBuf = work
-	if len(work) <= 1 {
-		if len(work) == 1 {
-			k.tickShard(work[0], k.now)
+	if len(work) == 0 {
+		return
+	}
+	k.stats.BusyCycles++
+	k.stats.ActiveSum += int64(total)
+	if k.autoTune {
+		k.retune(total)
+	}
+	if len(work) == 1 || k.parWidth == 1 {
+		for _, s := range work {
+			k.tickShard(int(s), k.now)
 		}
 		return
 	}
-	k.ensureWorkers()
-	for _, s := range work[1:] {
-		k.workCh[s] <- k.now
+	k.stats.ParallelCycles++
+	k.dispatch(work)
+}
+
+// retune is the width tuner's per-busy-cycle accounting and, every
+// tuneWindow busy cycles, its deterministic hysteresis step.
+func (k *Kernel) retune(active int) {
+	k.tuneBusy++
+	k.tuneActive += int64(active)
+	if k.tuneBusy < tuneWindow {
+		return
 	}
-	k.tickShard(work[0], k.now)
-	for _, s := range work[1:] {
-		<-k.doneCh[s]
+	avg := k.tuneActive / k.tuneBusy
+	if avg >= int64(k.parWidth+1)*tunePerWorker && k.parWidth < k.shards {
+		k.parWidth++
+	} else if k.parWidth > 1 && avg <= int64(k.parWidth-1)*tunePerWorker {
+		k.parWidth--
+	}
+	k.tuneBusy, k.tuneActive = 0, 0
+}
+
+// workerRelease is one worker's private release counter, padded so two
+// workers' barrier traffic never shares a cache line.
+type workerRelease struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// workBench is the barrier state shared between the coordinator and the
+// shard worker goroutines of one worker generation. ReleaseWorkers drops
+// the kernel's reference and flags stop; a later Step builds a fresh bench,
+// so a stale worker can never touch live dispatch state.
+type workBench struct {
+	// Published by the coordinator before the release counters are bumped
+	// (the bump is the synchronizing edge).
+	workList []int32
+	nWork    int32
+	now      int64
+
+	nextWork  atomic.Int64 // shared work cursor
+	_         [48]byte
+	remaining atomic.Int64 // participants still ticking this cycle
+	_         [48]byte
+
+	release []workerRelease
+	stop    atomic.Bool
+
+	// Worker parking (spin-then-park fallback).
+	parked atomic.Int32
+	mu     sync.Mutex
+	cond   *sync.Cond
+
+	// Coordinator parking for the completion side of the barrier.
+	coordParked atomic.Bool
+	doneMu      sync.Mutex
+	doneCond    *sync.Cond
+}
+
+// ensureWorkers lazily builds the work bench and starts one goroutine per
+// non-coordinator worker slot. Workers spin-then-park between cycles and
+// exit when ReleaseWorkers flags their bench stopped.
+func (k *Kernel) ensureWorkers() {
+	if k.wb != nil {
+		return
+	}
+	wb := &workBench{
+		workList: make([]int32, k.shards),
+		release:  make([]workerRelease, k.shards-1),
+	}
+	wb.cond = sync.NewCond(&wb.mu)
+	wb.doneCond = sync.NewCond(&wb.doneMu)
+	k.wb = wb
+	for w := 0; w < k.shards-1; w++ {
+		go k.worker(wb, w)
 	}
 }
 
-// ensureWorkers lazily starts one goroutine per shard. Workers block on
-// their work channel between cycles and exit when ReleaseWorkers closes it.
-func (k *Kernel) ensureWorkers() {
-	if k.workCh != nil {
+// dispatch runs one parallel cycle: publish the work list, release
+// min(width, len(work)) participants (the coordinator is one of them), tick
+// alongside the workers, then wait for the joint outstanding count to drain.
+func (k *Kernel) dispatch(work []int32) {
+	k.ensureWorkers()
+	wb := k.wb
+	par := k.parWidth
+	if par > len(work) {
+		par = len(work)
+	}
+	copy(wb.workList, work)
+	wb.nWork = int32(len(work))
+	wb.now = k.now
+	wb.nextWork.Store(0)
+	wb.remaining.Store(int64(par))
+	for w := 0; w < par-1; w++ {
+		wb.release[w].n.Add(1)
+	}
+	if wb.parked.Load() != 0 {
+		wb.mu.Lock()
+		wb.cond.Broadcast()
+		wb.mu.Unlock()
+	}
+	k.runWork(wb)
+	if wb.remaining.Add(-1) == 0 {
 		return
 	}
-	k.workCh = make([]chan int64, k.shards)
-	k.doneCh = make([]chan struct{}, k.shards)
-	for s := 0; s < k.shards; s++ {
-		work := make(chan int64, 1)
-		done := make(chan struct{}, 1)
-		k.workCh[s] = work
-		k.doneCh[s] = done
-		go func(s int) {
-			for now := range work {
-				k.tickShard(s, now)
-				done <- struct{}{}
+	start := time.Now()
+	for spins := 0; wb.remaining.Load() != 0; spins++ {
+		if spins < barrierSpin {
+			continue
+		}
+		if spins < barrierSpin+barrierYield {
+			runtime.Gosched()
+			continue
+		}
+		wb.coordParked.Store(true)
+		wb.doneMu.Lock()
+		for wb.remaining.Load() != 0 {
+			wb.doneCond.Wait()
+		}
+		wb.doneMu.Unlock()
+		wb.coordParked.Store(false)
+		break
+	}
+	k.stats.BarrierWaitNs += time.Since(start).Nanoseconds()
+}
+
+// runWork pulls shard indexes off the shared cursor until the cycle's work
+// list is exhausted. Shards are claimed whole; the claim order is
+// irrelevant to output (see the package comment).
+func (k *Kernel) runWork(wb *workBench) {
+	for {
+		i := wb.nextWork.Add(1) - 1
+		if i >= int64(wb.nWork) {
+			return
+		}
+		k.tickShard(int(wb.workList[i]), wb.now)
+	}
+}
+
+// worker is one shard worker goroutine: wait (spin, yield, park) for its
+// release counter to advance, tick claimed shards, join the barrier.
+func (k *Kernel) worker(wb *workBench, w int) {
+	rel := &wb.release[w].n
+	seen := int64(0)
+	for {
+		for spins := 0; rel.Load() == seen; spins++ {
+			if wb.stop.Load() {
+				return
 			}
-		}(s)
+			if spins < barrierSpin {
+				continue
+			}
+			if spins < barrierSpin+barrierYield {
+				runtime.Gosched()
+				continue
+			}
+			wb.parked.Add(1)
+			wb.mu.Lock()
+			for rel.Load() == seen && !wb.stop.Load() {
+				wb.cond.Wait()
+			}
+			wb.mu.Unlock()
+			wb.parked.Add(-1)
+		}
+		if wb.stop.Load() {
+			return
+		}
+		seen++
+		k.runWork(wb)
+		if wb.remaining.Add(-1) == 0 && wb.coordParked.Load() {
+			wb.doneMu.Lock()
+			wb.doneCond.Signal()
+			wb.doneMu.Unlock()
+		}
 	}
 }
 
 // ReleaseWorkers stops the shard worker goroutines, if any were started.
-// Safe to call at any point between Steps; a later Step restarts them on
-// demand. Long-lived processes that build many machines (test suites, the
-// experiment pool) call this when a run finishes so workers don't
-// accumulate.
+// Safe to call at any point between Steps; a later Step restarts a fresh
+// worker generation on demand. Long-lived processes that build many
+// machines (test suites, the experiment pool) call this when a run finishes
+// so workers don't accumulate.
 func (k *Kernel) ReleaseWorkers() {
-	if k.workCh == nil {
+	wb := k.wb
+	if wb == nil {
 		return
 	}
-	for _, ch := range k.workCh {
-		close(ch)
-	}
-	k.workCh = nil
-	k.doneCh = nil
+	k.wb = nil
+	wb.stop.Store(true)
+	wb.mu.Lock()
+	wb.cond.Broadcast()
+	wb.mu.Unlock()
 }
 
 // drainDeferred applies the per-shard barrier queues in shard order. Within

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// parkTicker is a sharded Parker that records the cycle of every tick and
+// parks whenever its work counter is zero.
+type parkTicker struct {
+	k      *Kernel
+	tid    TickerID
+	shard  int
+	work   int
+	ticks  []int64
+	onTick func(now int64)
+}
+
+func (p *parkTicker) Tick(now int64) {
+	p.ticks = append(p.ticks, now)
+	if p.work > 0 {
+		p.work--
+	}
+	if p.onTick != nil {
+		p.onTick(now)
+	}
+}
+
+func (p *parkTicker) Quiescent() bool { return p.work == 0 }
+
+// TestShardedWakeTimerHonoredWhileParked mirrors the coordinator-segment
+// wake-timer-vs-park tests for the sharded segment with intra-cycle
+// skipping: a router-like ticker that parks (its active bit cleared from
+// the shard bitmap) must still see a Defer(delay>=1) it issued on its last
+// tick fire on schedule, and a WakeAt timer must pull it out of the bitmap
+// and tick it at exactly the requested cycle — even though the cycles in
+// between are fast-forwarded.
+func TestShardedWakeTimerHonoredWhileParked(t *testing.T) {
+	k := NewKernel(1)
+	k.SetShards(2)
+	ps := make([]*parkTicker, 4)
+	for i := range ps {
+		ps[i] = &parkTicker{k: k, shard: i * 2 / 4}
+		ps[i].tid = k.Register(ps[i])
+		k.AssignShard(ps[i].tid, ps[i].shard)
+	}
+	var deferFired int64 = -1
+	ps[3].work = 1
+	ps[3].onTick = func(now int64) {
+		if now != 1 {
+			return
+		}
+		// Issued mid-tick, lands on the event heap at the barrier; the
+		// issuer parks this same cycle.
+		k.Defer(ps[3].shard, 5, func() {
+			deferFired = k.Now()
+			k.Wake(ps[3].tid)
+		})
+		k.WakeAt(9, ps[3].tid)
+	}
+	k.Run(20)
+	k.ReleaseWorkers()
+	if deferFired != 6 {
+		t.Errorf("deferred call fired at cycle %d, want 6 (1 + delay 5)", deferFired)
+	}
+	// Cycle 1: every ticker's first tick (then all park). Cycle 6: the
+	// deferred callback's Wake. Cycle 10: the WakeAt(9) timer from cycle 1.
+	if want := []int64{1, 6, 10}; !reflect.DeepEqual(ps[3].ticks, want) {
+		t.Errorf("parked ticker ticked at %v, want %v", ps[3].ticks, want)
+	}
+}
+
+// TestIntraCycleWakeSemantics pins the bitmap walk's ordering contract,
+// which must match the historical full scan exactly: a wake to a
+// later-registered ticker of the same shard lands in the current cycle
+// (the scan has not reached it yet), while a wake to an earlier-registered
+// ticker — whose position the scan already passed — waits for the next
+// cycle.
+func TestIntraCycleWakeSemantics(t *testing.T) {
+	k := NewKernel(1)
+	k.SetShards(2)
+	// Shard 0: a filler parker. Shard 1: parked target t1, waker, parked
+	// target t2 — so the waker sits between its two targets in ID order.
+	filler := &parkTicker{k: k, shard: 0}
+	filler.tid = k.Register(filler)
+	k.AssignShard(filler.tid, 0)
+
+	early := &parkTicker{k: k, shard: 1}
+	early.tid = k.Register(early)
+	k.AssignShard(early.tid, 1)
+
+	waker := &parkTicker{k: k, shard: 1, work: 1 << 20}
+	waker.tid = k.Register(waker)
+	k.AssignShard(waker.tid, 1)
+
+	late := &parkTicker{k: k, shard: 1}
+	late.tid = k.Register(late)
+	k.AssignShard(late.tid, 1)
+
+	waker.onTick = func(now int64) {
+		if now == 3 {
+			k.Wake(late.tid)  // ahead of the scan: ticks this cycle
+			k.Wake(early.tid) // behind the scan: ticks next cycle
+		}
+	}
+
+	k.Run(5)
+	k.ReleaseWorkers()
+	if want := []int64{1, 3}; !reflect.DeepEqual(late.ticks, want) {
+		t.Errorf("later-ID wake target ticked at %v, want %v (same-cycle wake)", late.ticks, want)
+	}
+	if want := []int64{1, 4}; !reflect.DeepEqual(early.ticks, want) {
+		t.Errorf("earlier-ID wake target ticked at %v, want %v (next-cycle wake)", early.ticks, want)
+	}
+}
+
+// TestAutoTuneWidthChangesAreInvisible drives enough always-busy tickers
+// through an auto-tuned kernel that the occupancy tuner actually widens the
+// parallelism mid-run, and asserts the Defer drain order still matches the
+// serial baseline — width is scheduling only.
+func TestAutoTuneWidthChangesAreInvisible(t *testing.T) {
+	const n, cycles = 128, 3 * tuneWindow
+	k, base := buildSharded(n, 1)
+	k.Run(cycles)
+
+	k2, log := buildSharded(n, 4)
+	k2.SetAutoTune(true)
+	if w := k2.ShardStats().Width; w != 1 {
+		t.Fatalf("auto-tuned kernel started at width %d, want 1", w)
+	}
+	k2.Run(cycles)
+	k2.ReleaseWorkers()
+	// 128 always-active tickers >> tunePerWorker thresholds: the tuner
+	// must have widened past its starting width.
+	if w := k2.ShardStats().Width; w <= 1 {
+		t.Errorf("width tuner never widened under full load (width %d)", w)
+	}
+	if !reflect.DeepEqual(*log, *base) {
+		t.Error("auto-tuned drain order diverged from serial")
+	}
+	st := k2.ShardStats()
+	if st.BusyCycles != cycles {
+		t.Errorf("BusyCycles = %d, want %d", st.BusyCycles, cycles)
+	}
+	if st.ActiveSum != int64(n)*cycles {
+		t.Errorf("ActiveSum = %d, want %d", st.ActiveSum, int64(n)*cycles)
+	}
+}

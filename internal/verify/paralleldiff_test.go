@@ -7,7 +7,9 @@ import (
 	"testing"
 
 	"innetcc/internal/fault"
+	"innetcc/internal/network"
 	"innetcc/internal/protocol"
+	"innetcc/internal/sim"
 	"innetcc/internal/stats"
 	"innetcc/internal/trace"
 	"innetcc/internal/verify"
@@ -96,12 +98,13 @@ func requireIdentical(t *testing.T, label string, serial, sharded *protocol.Mach
 }
 
 // shardVariants returns the non-serial shard counts to test: 2 (the minimal
-// parallel split), 4 (an interior split), and the host's CPU count,
-// deduplicated.
+// parallel split), 4 and 8 (interior splits, 8 exceeding the default mesh's
+// row count), the host's CPU count, and 0 (automatic selection — AutoShards
+// plus the occupancy-driven width tuner), deduplicated.
 func shardVariants() []int {
-	variants := []int{2, 4, runtime.NumCPU()}
+	variants := []int{2, 4, 8, runtime.NumCPU()}
 	seen := map[int]bool{1: true}
-	var out []int
+	out := []int{0} // auto: exercises the tuner's width changes mid-run
 	for _, s := range variants {
 		if s > 1 && !seen[s] {
 			seen[s] = true
@@ -109,6 +112,60 @@ func shardVariants() []int {
 		}
 	}
 	return out
+}
+
+// runAutoTopo is runSharded on a 64-node mesh — large enough that
+// sim.AutoShards picks a parallel split when cores allow — returning the
+// finished machine.
+func runAutoTopo(t *testing.T, shards int) *protocol.Machine {
+	t.Helper()
+	const accesses, seed = 60, 42
+	cfg := protocol.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Topology = network.MeshSpec(8, 8)
+	p := trace.Benchmarks()[0]
+	spec := protocol.Spec{
+		Think:  p.Think,
+		Engine: protocol.KindTree,
+		Shards: shards,
+		Config: cfg,
+	}
+	spec.Trace = trace.Generate(p, cfg.Nodes(), accesses, seed)
+	m, err := protocol.Build(spec)
+	if err != nil {
+		t.Fatalf("shards=%d: Build: %v", shards, err)
+	}
+	m.ReadSamples = &stats.Sampler{}
+	m.WriteSamples = &stats.Sampler{}
+	if err := m.Run(40_000_000); err != nil {
+		t.Fatalf("shards=%d: run: %v", shards, err)
+	}
+	return m
+}
+
+// TestAutoShardsDeterministic pins the Shards:0 contract: automatic shard
+// selection — including the occupancy tuner changing the parallelism width
+// mid-run — produces results and a state digest byte-identical to both the
+// explicit best shard count and the serial run. GOMAXPROCS is raised so
+// AutoShards picks a parallel split even on single-core hosts.
+func TestAutoShardsDeterministic(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	serial := runAutoTopo(t, 1)
+	if serial.Lat.Read.N+serial.Lat.Write.N == 0 {
+		t.Fatal("serial run completed no accesses; differential is vacuous")
+	}
+	auto := runAutoTopo(t, 0)
+	best := runAutoTopo(t, sim.AutoShards(serial.Cfg.Nodes()))
+	requireIdentical(t, "auto-vs-serial", serial, auto)
+	requireIdentical(t, "auto-vs-explicit", best, auto)
+	if a, e := auto.StateDigest(), serial.StateDigest(); a != e {
+		t.Errorf("state digest diverged: auto %#x, serial %#x", a, e)
+	}
+	if a, e := auto.StateDigest(), best.StateDigest(); a != e {
+		t.Errorf("state digest diverged: auto %#x, explicit %#x", a, e)
+	}
 }
 
 // TestParallelByteIdenticalToSerial is the sharded-engine equivalence
